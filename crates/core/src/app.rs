@@ -1,0 +1,256 @@
+//! Application graphs: dataflow of PE-level operations.
+//!
+//! The VCGRA tool flow (Fig. 2, right side) starts from an application
+//! description whose primitives are whole Processing Elements — this is
+//! what makes the flow orders of magnitude faster than gate-level
+//! compilation. An [`AppGraph`] is that netlist-of-PEs: nodes are MAC /
+//! MUL / ADD / PASS operations with optional coefficients, edges are
+//! word-level dataflow.
+//!
+//! The builders cover the workloads of the retinal-vessel-segmentation
+//! pipeline: dot products (filter kernels as multiply + adder-tree) and
+//! elementwise stages.
+
+use crate::pe::PeMode;
+use softfloat::{FpFormat, FpValue};
+
+/// Where an operand of a PE node comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppSource {
+    /// External stream input with the given index.
+    External(usize),
+    /// Output of another node.
+    Node(usize),
+    /// Constant zero (unconnected operand).
+    Zero,
+}
+
+/// One PE-level operation.
+#[derive(Debug, Clone)]
+pub struct AppNode {
+    /// Human-readable name (used in renders and error messages).
+    pub name: String,
+    /// The PE mode this node needs.
+    pub op: PeMode,
+    /// Coefficient for MAC/MUL nodes.
+    pub coeff: Option<FpValue>,
+    /// First operand (`in_a` of the PE).
+    pub a: AppSource,
+    /// Second operand (`in_b` of the PE).
+    pub b: AppSource,
+}
+
+/// A dataflow graph of PE operations.
+#[derive(Debug, Clone)]
+pub struct AppGraph {
+    /// Floating-point format of the datapath.
+    pub format: FpFormat,
+    /// Nodes in topological order (a node only references earlier nodes).
+    pub nodes: Vec<AppNode>,
+    /// Number of external stream inputs.
+    pub num_inputs: usize,
+    /// Indices of the nodes whose outputs are the application outputs.
+    pub outputs: Vec<usize>,
+}
+
+impl AppGraph {
+    /// Creates an empty graph.
+    pub fn new(format: FpFormat, num_inputs: usize) -> Self {
+        Self { format, nodes: Vec::new(), num_inputs, outputs: Vec::new() }
+    }
+
+    fn check_source(&self, s: AppSource) {
+        match s {
+            AppSource::External(i) => assert!(i < self.num_inputs, "input {i} out of range"),
+            AppSource::Node(n) => {
+                assert!(n < self.nodes.len(), "node {n} referenced before definition")
+            }
+            AppSource::Zero => {}
+        }
+    }
+
+    /// Adds a node and returns its index.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        op: PeMode,
+        coeff: Option<FpValue>,
+        a: AppSource,
+        b: AppSource,
+    ) -> usize {
+        self.check_source(a);
+        self.check_source(b);
+        if matches!(op, PeMode::Mac | PeMode::Mul) {
+            assert!(coeff.is_some(), "MAC/MUL nodes need a coefficient");
+        }
+        self.nodes.push(AppNode { name: name.into(), op, coeff, a, b });
+        self.nodes.len() - 1
+    }
+
+    /// Marks a node as an application output.
+    pub fn mark_output(&mut self, node: usize) {
+        assert!(node < self.nodes.len());
+        self.outputs.push(node);
+    }
+
+    /// Number of PEs this graph needs.
+    pub fn pe_demand(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Dataflow depth (longest node chain) — the virtual pipeline latency.
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            let src_d = |s: AppSource| match s {
+                AppSource::Node(j) => d[j] + 1,
+                _ => 1,
+            };
+            d[i] = src_d(n.a).max(src_d(n.b));
+        }
+        self.outputs.iter().map(|&o| d[o]).max().unwrap_or(0)
+    }
+
+    /// Builds a dot product `Σ coeffs[i] · x_i` over `coeffs.len()` external
+    /// inputs: one MUL layer followed by a binary adder tree. This is the
+    /// shape of every filter kernel in the vessel-segmentation pipeline.
+    pub fn dot_product(format: FpFormat, coeffs: &[f64]) -> AppGraph {
+        assert!(!coeffs.is_empty());
+        let mut g = AppGraph::new(format, coeffs.len());
+        let mut layer: Vec<usize> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                g.add(
+                    format!("mul{i}"),
+                    PeMode::Mul,
+                    Some(FpValue::from_f64(c, format)),
+                    AppSource::External(i),
+                    AppSource::Zero,
+                )
+            })
+            .collect();
+        let mut level = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for (k, pair) in layer.chunks(2).enumerate() {
+                if pair.len() == 2 {
+                    next.push(g.add(
+                        format!("add_l{level}_{k}"),
+                        PeMode::Add,
+                        None,
+                        AppSource::Node(pair[0]),
+                        AppSource::Node(pair[1]),
+                    ));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+            level += 1;
+        }
+        g.mark_output(layer[0]);
+        g
+    }
+
+    /// Builds a MAC chain computing the same dot product with accumulating
+    /// PEs (`out_i = x_i · c_i + out_{i-1}`): fewer PEs, longer chain —
+    /// the systolic alternative used when the grid is small.
+    pub fn mac_chain(format: FpFormat, coeffs: &[f64]) -> AppGraph {
+        assert!(!coeffs.is_empty());
+        let mut g = AppGraph::new(format, coeffs.len());
+        let mut prev: Option<usize> = None;
+        for (i, &c) in coeffs.iter().enumerate() {
+            let b = prev.map_or(AppSource::Zero, AppSource::Node);
+            // "MAC over the bus": out = a * coeff + b. Encoded as a MUL
+            // followed by ADD when b exists, i.e. two PEs per tap — the
+            // builder keeps PE modes primitive.
+            let m = g.add(
+                format!("mul{i}"),
+                PeMode::Mul,
+                Some(FpValue::from_f64(c, format)),
+                AppSource::External(i),
+                AppSource::Zero,
+            );
+            let node = if let Some(_p) = prev {
+                g.add(
+                    format!("acc{i}"),
+                    PeMode::Add,
+                    None,
+                    AppSource::Node(m),
+                    b,
+                )
+            } else {
+                m
+            };
+            prev = Some(node);
+        }
+        g.mark_output(prev.unwrap());
+        g
+    }
+
+    /// Elementwise chain `y = ((x·c0) · c1) · c2 ...` (cascade of scalings,
+    /// e.g. gain + normalization stages).
+    pub fn scaling_cascade(format: FpFormat, coeffs: &[f64]) -> AppGraph {
+        assert!(!coeffs.is_empty());
+        let mut g = AppGraph::new(format, 1);
+        let mut prev = AppSource::External(0);
+        let mut last = 0;
+        for (i, &c) in coeffs.iter().enumerate() {
+            last = g.add(
+                format!("scale{i}"),
+                PeMode::Mul,
+                Some(FpValue::from_f64(c, format)),
+                prev,
+                AppSource::Zero,
+            );
+            prev = AppSource::Node(last);
+        }
+        g.mark_output(last);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FpFormat = FpFormat::PAPER;
+
+    #[test]
+    fn dot_product_structure() {
+        let g = AppGraph::dot_product(F, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        // 5 muls + adds(2+1+1) = 9 nodes, depth: mul + 3 add levels.
+        assert_eq!(g.pe_demand(), 9);
+        assert_eq!(g.outputs.len(), 1);
+        assert_eq!(g.depth(), 4);
+    }
+
+    #[test]
+    fn mac_chain_structure() {
+        let g = AppGraph::mac_chain(F, &[0.5, 0.25, 0.125]);
+        assert_eq!(g.pe_demand(), 5, "3 muls + 2 accumulate adds");
+        assert_eq!(g.depth(), 3);
+    }
+
+    #[test]
+    fn cascade_is_linear() {
+        let g = AppGraph::scaling_cascade(F, &[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(g.pe_demand(), 4);
+        assert_eq!(g.depth(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "referenced before definition")]
+    fn forward_reference_rejected() {
+        let mut g = AppGraph::new(F, 1);
+        g.add("bad", PeMode::Add, None, AppSource::Node(5), AppSource::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a coefficient")]
+    fn mul_without_coeff_rejected() {
+        let mut g = AppGraph::new(F, 1);
+        g.add("bad", PeMode::Mul, None, AppSource::External(0), AppSource::Zero);
+    }
+}

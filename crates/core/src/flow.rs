@@ -1,0 +1,410 @@
+//! The VCGRA tool flow (Fig. 2, right-hand side): synthesis at PE
+//! granularity, placement on the virtual grid, routing through the virtual
+//! communication network, and settings generation.
+//!
+//! Because the basic programmable element is a whole PE, this flow works on
+//! graphs of tens of nodes instead of tens of thousands of gates — the
+//! source of the "orders of magnitude" compile-time advantage the paper
+//! claims over the standard FPGA tool flow (quantified by the
+//! `compile_time` bench in `xbench`).
+
+use crate::app::{AppGraph, AppSource};
+use crate::grid::VcgraArch;
+use crate::pe::PeSettings;
+use logic::SplitMix64;
+use softfloat::FpValue;
+
+/// Errors the flow can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// The application needs more PEs than the grid offers.
+    NotEnoughPes {
+        /// PEs required by the application graph.
+        needed: usize,
+        /// PEs available in the grid.
+        available: usize,
+    },
+    /// The router could not legalize the design within its iteration budget.
+    Unroutable {
+        /// Channel segments still over capacity after the final iteration.
+        overused_segments: usize,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::NotEnoughPes { needed, available } => {
+                write!(f, "application needs {needed} PEs, grid has {available}")
+            }
+            FlowError::Unroutable { overused_segments } => {
+                write!(f, "unroutable: {overused_segments} channel segments over capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// A routed dataflow edge: the channel segments it occupies.
+#[derive(Debug, Clone)]
+pub struct RoutedEdge {
+    /// Driving app node.
+    pub from: usize,
+    /// Consuming app node.
+    pub to: usize,
+    /// Path as a list of grid cells, starting at `from`'s PE and ending at
+    /// `to`'s PE (adjacent pairs are channel segments).
+    pub path: Vec<(usize, usize)>,
+}
+
+/// Result of mapping an application onto a VCGRA.
+#[derive(Debug)]
+pub struct VcgraMapping {
+    /// The target architecture.
+    pub arch: VcgraArch,
+    /// Grid cell of every app node.
+    pub place: Vec<(usize, usize)>,
+    /// Routed node-to-node edges.
+    pub routes: Vec<RoutedEdge>,
+    /// Settings per grid cell (row-major), `None` for unused PEs.
+    pub pe_settings: Vec<Option<PeSettings>>,
+    /// Total virtual wirelength (channel segments over all routes).
+    pub virtual_wirelength: usize,
+    /// Wall-clock time of the whole flow.
+    pub compile_time: std::time::Duration,
+}
+
+impl VcgraMapping {
+    /// Settings register values (one 32-bit word per PE and VSB, as in the
+    /// paper): the PE word holds the iteration counter; VSB words hold the
+    /// packed turn-enable bits derived from the routes.
+    pub fn settings_words(&self) -> Vec<u32> {
+        let mut words = Vec::new();
+        for s in &self.pe_settings {
+            words.push(s.map_or(0, |s| s.counter));
+        }
+        // VSB words: accumulate turn usage at interior corners.
+        let vsb_cols = self.arch.cols - 1;
+        let mut vsb = vec![0u32; self.arch.vsb_count()];
+        for r in &self.routes {
+            for w in r.path.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                // The VSB at the corner between the two cells notes the
+                // direction pair.
+                let (rr, cc) = (a.0.min(b.0), a.1.min(b.1));
+                if rr < self.arch.rows - 1 && cc < self.arch.cols - 1 {
+                    let dir = if a.0 == b.0 { 1u32 } else { 2u32 };
+                    vsb[rr * vsb_cols + cc] |= dir;
+                }
+            }
+        }
+        words.extend(vsb);
+        words
+    }
+}
+
+/// Maps an application graph onto the grid: greedy topological seed
+/// placement, simulated-annealing refinement, negotiated channel routing.
+pub fn map_app(app: &AppGraph, arch: VcgraArch, seed: u64) -> Result<VcgraMapping, FlowError> {
+    let t0 = std::time::Instant::now();
+    let n = app.nodes.len();
+    if n > arch.pe_count() {
+        return Err(FlowError::NotEnoughPes { needed: n, available: arch.pe_count() });
+    }
+
+    // Edges between placed nodes.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (i, node) in app.nodes.iter().enumerate() {
+        for s in [node.a, node.b] {
+            if let AppSource::Node(j) = s {
+                edges.push((j, i));
+            }
+        }
+    }
+
+    // --- placement ---
+    // Seed: snake order over the grid follows the topological node order,
+    // which keeps dataflow chains physically adjacent.
+    let mut cells: Vec<(usize, usize)> = Vec::with_capacity(arch.pe_count());
+    for r in 0..arch.rows {
+        if r % 2 == 0 {
+            for c in 0..arch.cols {
+                cells.push((r, c));
+            }
+        } else {
+            for c in (0..arch.cols).rev() {
+                cells.push((r, c));
+            }
+        }
+    }
+    let mut place: Vec<(usize, usize)> = cells[..n].to_vec();
+    let mut cell_of: Vec<Option<usize>> = vec![None; arch.pe_count()];
+    let cell_index = |p: (usize, usize)| p.0 * arch.cols + p.1;
+    for (i, &p) in place.iter().enumerate() {
+        cell_of[cell_index(p)] = Some(i);
+    }
+
+    let dist = |a: (usize, usize), b: (usize, usize)| -> i64 {
+        (a.0 as i64 - b.0 as i64).abs() + (a.1 as i64 - b.1 as i64).abs()
+    };
+    let cost = |place: &[(usize, usize)]| -> i64 {
+        edges.iter().map(|&(u, v)| dist(place[u], place[v])).sum()
+    };
+
+    // SA refinement: swap two cells (or move to an empty one).
+    let mut rng = SplitMix64::new(seed);
+    let mut cur_cost = cost(&place);
+    let mut temp = (cur_cost.max(4)) as f64 * 0.5;
+    let moves_per_temp = 16 * arch.pe_count().max(n);
+    while temp > 0.05 {
+        for _ in 0..moves_per_temp {
+            let i = rng.index(n);
+            let target = cells[rng.index(cells.len())];
+            let ti = cell_index(target);
+            let old = place[i];
+            if old == target {
+                continue;
+            }
+            let displaced = cell_of[ti];
+            // Apply.
+            place[i] = target;
+            if let Some(j) = displaced {
+                place[j] = old;
+            }
+            let new_cost = cost(&place);
+            let delta = new_cost - cur_cost;
+            if delta <= 0 || rng.unit_f64() < (-(delta as f64) / temp).exp() {
+                cell_of[ti] = Some(i);
+                cell_of[cell_index(old)] = displaced;
+                cur_cost = new_cost;
+            } else {
+                // Revert.
+                place[i] = old;
+                if let Some(j) = displaced {
+                    place[j] = target;
+                }
+            }
+        }
+        temp *= 0.8;
+    }
+
+    // --- routing: negotiated congestion on the channel grid ---
+    // Directed channel segments between 4-adjacent cells.
+    let seg_id = |a: (usize, usize), b: (usize, usize)| -> usize {
+        // 4 direction slots per cell.
+        let d = match (b.0 as i64 - a.0 as i64, b.1 as i64 - a.1 as i64) {
+            (0, 1) => 0,
+            (0, -1) => 1,
+            (1, 0) => 2,
+            (-1, 0) => 3,
+            _ => unreachable!("non-adjacent cells"),
+        };
+        (a.0 * arch.cols + a.1) * 4 + d
+    };
+    let num_segs = arch.pe_count() * 4;
+    let mut usage = vec![0u32; num_segs];
+    let mut history = vec![0f64; num_segs];
+    let mut paths: Vec<Vec<(usize, usize)>> = vec![Vec::new(); edges.len()];
+    let cap = arch.channel_capacity as u32;
+
+    for iter in 0..24 {
+        // (Re)route every edge with congestion-aware BFS/Dijkstra.
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            // Remove the previous path from usage.
+            for w in paths[e].windows(2) {
+                usage[seg_id(w[0], w[1])] -= 1;
+            }
+            let (src, dst) = (place[u], place[v]);
+            paths[e] = dijkstra_route(arch, src, dst, &usage, &history, cap);
+            for w in paths[e].windows(2) {
+                usage[seg_id(w[0], w[1])] += 1;
+            }
+        }
+        let over: usize = usage.iter().filter(|&&u| u > cap).count();
+        if over == 0 {
+            break;
+        }
+        for (s, &u) in usage.iter().enumerate() {
+            if u > cap {
+                history[s] += (u - cap) as f64;
+            }
+        }
+        if iter == 23 {
+            return Err(FlowError::Unroutable { overused_segments: over });
+        }
+    }
+
+    // --- settings generation ---
+    let mut pe_settings: Vec<Option<PeSettings>> = vec![None; arch.pe_count()];
+    for (i, node) in app.nodes.iter().enumerate() {
+        let coeff = node
+            .coeff
+            .unwrap_or_else(|| FpValue::zero(app.format));
+        pe_settings[cell_index(place[i])] = Some(PeSettings {
+            coeff,
+            counter: 1,
+            mode: node.op,
+        });
+    }
+
+    let virtual_wirelength = paths.iter().map(|p| p.len().saturating_sub(1)).sum();
+    let routes = edges
+        .iter()
+        .zip(paths)
+        .map(|(&(u, v), path)| RoutedEdge { from: u, to: v, path })
+        .collect();
+
+    Ok(VcgraMapping {
+        arch,
+        place,
+        routes,
+        pe_settings,
+        virtual_wirelength,
+        compile_time: t0.elapsed(),
+    })
+}
+
+/// Congestion-aware shortest path on the cell grid (uniform segment cost
+/// plus present/history congestion penalties, PathFinder-style).
+fn dijkstra_route(
+    arch: VcgraArch,
+    src: (usize, usize),
+    dst: (usize, usize),
+    usage: &[u32],
+    history: &[f64],
+    cap: u32,
+) -> Vec<(usize, usize)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let idx = |p: (usize, usize)| p.0 * arch.cols + p.1;
+    let n = arch.pe_count();
+    let mut best = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut heap: BinaryHeap<(Reverse<u64>, (usize, usize))> = BinaryHeap::new();
+    best[idx(src)] = 0.0;
+    heap.push((Reverse(0), src));
+    let seg_id = |a: (usize, usize), b: (usize, usize)| -> usize {
+        let d = match (b.0 as i64 - a.0 as i64, b.1 as i64 - a.1 as i64) {
+            (0, 1) => 0,
+            (0, -1) => 1,
+            (1, 0) => 2,
+            (-1, 0) => 3,
+            _ => unreachable!(),
+        };
+        (a.0 * arch.cols + a.1) * 4 + d
+    };
+    while let Some((Reverse(d_fixed), cell)) = heap.pop() {
+        let d = d_fixed as f64 / 1024.0;
+        if cell == dst {
+            break;
+        }
+        if d > best[idx(cell)] + 1e-9 {
+            continue;
+        }
+        let (r, c) = cell;
+        let mut neighbors = Vec::with_capacity(4);
+        if c + 1 < arch.cols {
+            neighbors.push((r, c + 1));
+        }
+        if c > 0 {
+            neighbors.push((r, c - 1));
+        }
+        if r + 1 < arch.rows {
+            neighbors.push((r + 1, c));
+        }
+        if r > 0 {
+            neighbors.push((r - 1, c));
+        }
+        for nb in neighbors {
+            let s = seg_id(cell, nb);
+            let congestion = if usage[s] >= cap {
+                3.0 * (usage[s] - cap + 1) as f64
+            } else {
+                0.0
+            };
+            let nd = d + 1.0 + congestion + history[s];
+            if nd + 1e-9 < best[idx(nb)] {
+                best[idx(nb)] = nd;
+                prev[idx(nb)] = Some(cell);
+                heap.push((Reverse((nd * 1024.0) as u64), nb));
+            }
+        }
+    }
+    // Reconstruct.
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[idx(cur)].expect("connected grid");
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::FpFormat;
+
+    const F: FpFormat = FpFormat::PAPER;
+
+    #[test]
+    fn small_kernel_maps_onto_4x4() {
+        let app = AppGraph::dot_product(F, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let m = map_app(&app, VcgraArch::paper_4x4(), 42).expect("mappable");
+        assert_eq!(m.place.len(), 9);
+        // All placements distinct and in bounds.
+        let mut seen = std::collections::HashSet::new();
+        for &(r, c) in &m.place {
+            assert!(r < 4 && c < 4);
+            assert!(seen.insert((r, c)), "double occupancy at ({r},{c})");
+        }
+        assert!(m.virtual_wirelength > 0);
+        // 8 node-to-node edges in a 9-node adder tree application.
+        assert_eq!(m.routes.len(), 8);
+    }
+
+    #[test]
+    fn too_big_graph_is_rejected() {
+        let app = AppGraph::dot_product(F, &[1.0; 16]); // 16 muls + 15 adds
+        let err = map_app(&app, VcgraArch::paper_4x4(), 1).unwrap_err();
+        assert!(matches!(err, FlowError::NotEnoughPes { needed: 31, available: 16 }));
+    }
+
+    #[test]
+    fn routes_are_contiguous_and_correct() {
+        let app = AppGraph::mac_chain(F, &[0.5, 0.25, 0.125]);
+        let m = map_app(&app, VcgraArch::paper_4x4(), 7).unwrap();
+        for r in &m.routes {
+            assert_eq!(r.path.first().copied(), Some(m.place[r.from]));
+            assert_eq!(r.path.last().copied(), Some(m.place[r.to]));
+            for w in r.path.windows(2) {
+                let d = (w[0].0 as i64 - w[1].0 as i64).abs()
+                    + (w[0].1 as i64 - w[1].1 as i64).abs();
+                assert_eq!(d, 1, "path must step between adjacent cells");
+            }
+        }
+    }
+
+    #[test]
+    fn settings_words_cover_pes_and_vsbs() {
+        let app = AppGraph::dot_product(F, &[1.0, -1.0, 0.5]);
+        let arch = VcgraArch::paper_4x4();
+        let m = map_app(&app, arch, 3).unwrap();
+        let words = m.settings_words();
+        assert_eq!(words.len(), arch.settings_register_count());
+    }
+
+    #[test]
+    fn placement_quality_chains_are_short() {
+        // A 6-node chain on a 4x4 grid should place with near-minimal WL.
+        let app = AppGraph::scaling_cascade(F, &[1.0; 6]);
+        let m = map_app(&app, VcgraArch::paper_4x4(), 11).unwrap();
+        assert!(
+            m.virtual_wirelength <= 8,
+            "chain of 5 edges should route in <= 8 segments, got {}",
+            m.virtual_wirelength
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Configuration-frame addressing.
+//!
+//! FPGAs are configured in *frames* — the smallest unit the configuration
+//! port can read or write. Micro-reconfiguration (the paper's Section II-C)
+//! is a read-modify-write of every frame that holds at least one changed
+//! bit, so the DCS cost model needs to know which frame each configurable
+//! element lives in. We use a column-major model in the spirit of Xilinx
+//! devices: each logic column contributes a fixed number of frames for LUT
+//! truth tables and a fixed number for routing switches, and each frame
+//! covers a vertical stripe of tiles.
+
+use crate::arch::{FabricArch, Site};
+
+/// Frame geometry of a fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameModel {
+    /// Array size this model addresses.
+    pub size: usize,
+    /// Tiles covered by one frame vertically.
+    pub tiles_per_frame: usize,
+    /// 32-bit words per frame (Virtex-style frames are 41 words; we keep
+    /// the constant configurable for the timing model).
+    pub words_per_frame: usize,
+}
+
+impl FrameModel {
+    /// Default model: one frame spans 4 tiles vertically, 41 words/frame.
+    pub fn for_arch(arch: &FabricArch) -> Self {
+        Self { size: arch.size, tiles_per_frame: 4, words_per_frame: 41 }
+    }
+
+    fn stripes(&self) -> usize {
+        self.size.div_ceil(self.tiles_per_frame)
+    }
+
+    /// Frame holding the LUT truth-table bits of a logic site.
+    pub fn lut_frame(&self, site: Site) -> u32 {
+        match site {
+            Site::Logic { x, y } => (x * self.stripes() + y / self.tiles_per_frame) as u32,
+            Site::Io { .. } => self.io_frame_base(),
+        }
+    }
+
+    /// Frame holding the routing-switch bits near tile `(x, y)`.
+    /// Routing frames live in a separate address range after LUT frames.
+    pub fn routing_frame(&self, x: usize, y: usize) -> u32 {
+        let base = (self.size * self.stripes()) as u32;
+        base + (x.min(self.size - 1) * self.stripes()
+            + (y.min(self.size - 1)) / self.tiles_per_frame) as u32
+    }
+
+    fn io_frame_base(&self) -> u32 {
+        2 * (self.size * self.stripes()) as u32
+    }
+
+    /// Total addressable frames.
+    pub fn frame_count(&self) -> u32 {
+        self.io_frame_base() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_column_major_stripes() {
+        let m = FrameModel { size: 8, tiles_per_frame: 4, words_per_frame: 41 };
+        let f00 = m.lut_frame(Site::Logic { x: 0, y: 0 });
+        let f03 = m.lut_frame(Site::Logic { x: 0, y: 3 });
+        let f04 = m.lut_frame(Site::Logic { x: 0, y: 4 });
+        let f10 = m.lut_frame(Site::Logic { x: 1, y: 0 });
+        assert_eq!(f00, f03, "same stripe, same frame");
+        assert_ne!(f00, f04, "next stripe, next frame");
+        assert_ne!(f00, f10, "other column, other frame");
+    }
+
+    #[test]
+    fn routing_frames_do_not_collide_with_lut_frames() {
+        let m = FrameModel { size: 8, tiles_per_frame: 4, words_per_frame: 41 };
+        let lut_max = m.lut_frame(Site::Logic { x: 7, y: 7 });
+        let route_min = m.routing_frame(0, 0);
+        assert!(route_min > lut_max);
+        assert!(m.frame_count() > m.routing_frame(7, 7));
+    }
+}

@@ -1,0 +1,763 @@
+//! Cut-based K-LUT mapping with parameterized truth tables (TCONMAP).
+//!
+//! The engine enumerates priority cuts bottom-up over the live AIG. Cut
+//! leaves are always *non-parameter* nodes — parameter inputs never become
+//! leaves, they are folded into the cut's **parameterized truth table**
+//! (PTT): a vector of `2^k` BDDs over the parameter variables, one Boolean
+//! function per minterm of the `k` regular leaves.
+//!
+//! From the PTT the two tunable primitives of the paper fall out directly:
+//!
+//! * the cut is a **TLUT** if `k ≤ K`: the PTT entries become the LUT's
+//!   configuration-bit functions (constant entries = ordinary LUT bits);
+//! * the node is a **TCON** if, for every parameter assignment, its function
+//!   equals one of the leaves (in either polarity) or a constant. With
+//!   `C_i^q = ∧_m (ptt[m] ≡ bit_i(m) ⊕ q)` and `C_0/C_1` the constant
+//!   conditions, the node is a TCON iff `C_0 ∨ C_1 ∨ ⋁_{i,q} C_i^q` is a
+//!   tautology. The conditions are pairwise disjoint and become
+//!   routing-switch configuration bits.
+//!
+//! Because physical routing cannot invert a signal, polarity is resolved in
+//! a final phase-assignment pass: every mapped node gets a static `inv`
+//! flag (its wire carries `f ⊕ inv`), LUT consumers absorb inverted inputs
+//! by permuting their truth tables, and a TCON whose choices would need
+//! inconsistent polarities is demoted to a TLUT.
+
+use crate::design::{MappedDesign, MappedNode, MappedOutput, Source, Tcon, Tlut};
+use logic::aig::{Aig, InputKind, Node};
+use logic::bdd::{Bdd, BddManager};
+use logic::fxhash::FxHashMap;
+
+/// Mapper options.
+#[derive(Debug, Clone, Copy)]
+pub struct MapOptions {
+    /// LUT input count K (the paper uses the VPR 4-LUT architecture).
+    pub k: usize,
+    /// Priority cuts kept per node.
+    pub cuts_per_node: usize,
+    /// Extract TCONs (parameterized flow) or produce LUTs only.
+    pub use_tcons: bool,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        Self { k: 4, cuts_per_node: 6, use_tcons: true }
+    }
+}
+
+/// Conventional flow: parameters are treated as regular inputs and the
+/// result contains only plain LUTs (the Table I baseline).
+pub fn map_conventional(aig: &Aig, opts: MapOptions) -> MappedDesign {
+    run_map(aig, MapOptions { use_tcons: false, ..opts }, false)
+}
+
+/// Parameterized flow: honors `InputKind::Param`, extracts TLUTs and TCONs.
+pub fn map_parameterized(aig: &Aig, opts: MapOptions) -> MappedDesign {
+    run_map(aig, opts, true)
+}
+
+struct TconCand {
+    /// (leaf position, polarity q, activation condition): under the
+    /// condition, `f == leaf ⊕ q`. Conditions are pairwise disjoint.
+    choices: Vec<(usize, bool, Bdd)>,
+    const0: Bdd,
+    const1: Bdd,
+}
+
+struct Cut {
+    /// Sorted AIG node ids of the regular leaves.
+    leaves: Vec<u32>,
+    /// `2^leaves.len()` parameter functions.
+    ptt: Vec<Bdd>,
+    /// Arrival (LUT levels) when implementing the node with this cut.
+    arr: u32,
+    /// Area flow: own cost (1 LUT / 0 TCON) + shared leaf cost estimate.
+    af: f32,
+    /// TCON candidacy (computed only in the parameterized flow).
+    tcon: Option<TconCand>,
+    /// Trivial cut `{node}` — only usable by parents, not as an
+    /// implementation of the node itself.
+    trivial: bool,
+}
+
+fn expand_ptt(child: &[Bdd], child_leaves: &[u32], merged: &[u32]) -> Vec<Bdd> {
+    // Position of every child leaf within the merged leaf set.
+    let pos: Vec<usize> = child_leaves
+        .iter()
+        .map(|l| merged.binary_search(l).expect("child leaves ⊆ merged"))
+        .collect();
+    let k = merged.len();
+    (0..1usize << k)
+        .map(|m| {
+            let mut mc = 0usize;
+            for (ci, &mp) in pos.iter().enumerate() {
+                if (m >> mp) & 1 == 1 {
+                    mc |= 1 << ci;
+                }
+            }
+            child[mc]
+        })
+        .collect()
+}
+
+fn negate_ptt(bdd: &mut BddManager, ptt: &[Bdd]) -> Vec<Bdd> {
+    ptt.iter().map(|&e| bdd.not(e)).collect()
+}
+
+fn and_ptt(bdd: &mut BddManager, a: &[Bdd], b: &[Bdd]) -> Vec<Bdd> {
+    a.iter().zip(b).map(|(&x, &y)| bdd.and(x, y)).collect()
+}
+
+fn tcon_check(bdd: &mut BddManager, ptt: &[Bdd], k: usize) -> Option<TconCand> {
+    let mut const0 = Bdd::TRUE;
+    let mut const1 = Bdd::TRUE;
+    for &e in ptt {
+        let ne = bdd.not(e);
+        const0 = bdd.and(const0, ne);
+        const1 = bdd.and(const1, e);
+        if const0.is_false() && const1.is_false() {
+            break;
+        }
+    }
+    let mut cover = bdd.or(const0, const1);
+    let mut choices = Vec::new();
+    for i in 0..k {
+        for q in [false, true] {
+            let mut ci = Bdd::TRUE;
+            for (m, &e) in ptt.iter().enumerate() {
+                let bit = ((m >> i) & 1 == 1) ^ q;
+                let term = if bit { e } else { bdd.not(e) };
+                ci = bdd.and(ci, term);
+                if ci.is_false() {
+                    break;
+                }
+            }
+            if !ci.is_false() {
+                cover = bdd.or(cover, ci);
+                choices.push((i, q, ci));
+            }
+        }
+    }
+    if cover.is_true() {
+        Some(TconCand { choices, const0, const1 })
+    } else {
+        None
+    }
+}
+
+#[derive(Clone)]
+enum Impl {
+    Lut {
+        leaves: Vec<u32>,
+        ptt: Vec<Bdd>,
+    },
+    Tcon {
+        leaves: Vec<u32>,
+        /// Kept for possible demotion back to a LUT.
+        ptt: Vec<Bdd>,
+        choices: Vec<(usize, bool, Bdd)>,
+        const0: Bdd,
+        const1: Bdd,
+    },
+}
+
+/// Drops cut leaves the function does not depend on and compacts the PTT
+/// accordingly. Used at cover time and when demoting a TCON (whose
+/// function provably depends only on its *selected* leaves — the
+/// never-selected ones were not marked required and must not be emitted).
+fn prune_lut(leaves: &[u32], ptt: &[Bdd]) -> (Vec<u32>, Vec<Bdd>) {
+    let k = leaves.len();
+    let mut needed = Vec::new();
+    for i in 0..k {
+        let mut dep = false;
+        for m in 0..1usize << k {
+            if (m >> i) & 1 == 0 && ptt[m] != ptt[m | (1 << i)] {
+                dep = true;
+                break;
+            }
+        }
+        if dep {
+            needed.push(i);
+        }
+    }
+    let new_leaves: Vec<u32> = needed.iter().map(|&i| leaves[i]).collect();
+    let kk = new_leaves.len();
+    let new_ptt: Vec<Bdd> = (0..1usize << kk)
+        .map(|m| {
+            let mut full = 0usize;
+            for (new_i, &old_i) in needed.iter().enumerate() {
+                if (m >> new_i) & 1 == 1 {
+                    full |= 1 << old_i;
+                }
+            }
+            ptt[full]
+        })
+        .collect();
+    (new_leaves, new_ptt)
+}
+
+fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> MappedDesign {
+    assert!(opts.k >= 2 && opts.k <= 6);
+    let mut bdd = BddManager::new();
+    let live = aig.live_nodes();
+
+    // Input bookkeeping: regular-input index per AIG input, param variable
+    // per AIG input.
+    let mut input_names = Vec::new();
+    let mut param_names = Vec::new();
+    let mut reg_index: FxHashMap<u32, u32> = FxHashMap::default(); // AIG node -> regular idx
+    let mut param_var: FxHashMap<u32, u32> = FxHashMap::default(); // AIG node -> BDD var
+    for info in aig.inputs() {
+        let is_param = honor_params && info.kind == InputKind::Param;
+        if is_param {
+            param_var.insert(info.node, param_names.len() as u32);
+            param_names.push(info.name.clone());
+        } else {
+            reg_index.insert(info.node, input_names.len() as u32);
+            input_names.push(info.name.clone());
+        }
+    }
+
+    // ---- forward pass: priority cuts ----
+    let n = aig.num_nodes();
+    let fanout = aig.fanouts();
+    let mut cutsets: Vec<Vec<Cut>> = Vec::with_capacity(n);
+    let mut arrival = vec![0u32; n];
+    let mut aflow = vec![0f32; n];
+    for (id, node) in aig.iter_nodes() {
+        let idu = id as usize;
+        if !live[idu] && !matches!(node, Node::Input(_)) {
+            cutsets.push(Vec::new());
+            continue;
+        }
+        let cuts = match node {
+            Node::Const => vec![Cut {
+                leaves: vec![],
+                ptt: vec![Bdd::FALSE],
+                arr: 0,
+                af: 0.0,
+                tcon: Some(TconCand {
+                    choices: vec![],
+                    const0: Bdd::TRUE,
+                    const1: Bdd::FALSE,
+                }),
+                trivial: false,
+            }],
+            Node::Input(_) => {
+                if let Some(&v) = param_var.get(&id) {
+                    let p = bdd.var(v);
+                    let np = bdd.nvar(v);
+                    vec![Cut {
+                        leaves: vec![],
+                        ptt: vec![p],
+                        arr: 0,
+                        af: 0.0,
+                        tcon: Some(TconCand { choices: vec![], const0: np, const1: p }),
+                        trivial: false,
+                    }]
+                } else {
+                    vec![Cut {
+                        leaves: vec![id],
+                        ptt: vec![Bdd::FALSE, Bdd::TRUE],
+                        arr: 0,
+                        af: 0.0,
+                        tcon: None,
+                        trivial: true,
+                    }]
+                }
+            }
+            Node::And(a, b) => {
+                let mut merged: Vec<Cut> = Vec::new();
+                let mut seen: FxHashMap<Vec<u32>, ()> = FxHashMap::default();
+                for cai in 0..cutsets[a.node() as usize].len() {
+                    for cbi in 0..cutsets[b.node() as usize].len() {
+                        let ca = &cutsets[a.node() as usize][cai];
+                        let cb = &cutsets[b.node() as usize][cbi];
+                        // Union of sorted leaf sets, early reject over K.
+                        let mut leaves =
+                            Vec::with_capacity(ca.leaves.len() + cb.leaves.len());
+                        let (mut i, mut j) = (0, 0);
+                        let ok = loop {
+                            if leaves.len() > opts.k {
+                                break false;
+                            }
+                            match (ca.leaves.get(i), cb.leaves.get(j)) {
+                                (Some(&x), Some(&y)) => {
+                                    if x == y {
+                                        leaves.push(x);
+                                        i += 1;
+                                        j += 1;
+                                    } else if x < y {
+                                        leaves.push(x);
+                                        i += 1;
+                                    } else {
+                                        leaves.push(y);
+                                        j += 1;
+                                    }
+                                }
+                                (Some(&x), None) => {
+                                    leaves.push(x);
+                                    i += 1;
+                                }
+                                (None, Some(&y)) => {
+                                    leaves.push(y);
+                                    j += 1;
+                                }
+                                (None, None) => break true,
+                            }
+                        };
+                        if !ok || leaves.len() > opts.k || seen.contains_key(&leaves) {
+                            continue;
+                        }
+                        let ea = expand_ptt(&ca.ptt, &ca.leaves, &leaves);
+                        let eb = expand_ptt(&cb.ptt, &cb.leaves, &leaves);
+                        let fa = if a.is_neg() { negate_ptt(&mut bdd, &ea) } else { ea };
+                        let fb = if b.is_neg() { negate_ptt(&mut bdd, &eb) } else { eb };
+                        let ptt = and_ptt(&mut bdd, &fa, &fb);
+                        let k = leaves.len();
+                        let tcon = if opts.use_tcons {
+                            tcon_check(&mut bdd, &ptt, k)
+                        } else {
+                            None
+                        };
+                        // Arrival and area flow: TCONs are free logic-wise;
+                        // their selected leaves' costs are shared through
+                        // the fanout estimate (classic area flow).
+                        let leaf_cost = |l: u32| -> f32 {
+                            aflow[l as usize] / (fanout[l as usize].max(1) as f32)
+                        };
+                        let (arr, af) = if let Some(tc) = &tcon {
+                            let arr = tc
+                                .choices
+                                .iter()
+                                .map(|&(pos, _, _)| arrival[leaves[pos] as usize])
+                                .max()
+                                .unwrap_or(0);
+                            // TCONs are LUT-free but consume routing
+                            // switches: a small area cost makes the mapper
+                            // absorb them into TLUT cones when a cone is
+                            // available at no extra LUTs (TCONMAP's
+                            // preference).
+                            let af: f32 = 0.35
+                                + tc.choices
+                                    .iter()
+                                    .map(|&(pos, _, _)| leaf_cost(leaves[pos]))
+                                    .sum::<f32>();
+                            (arr, af)
+                        } else {
+                            let arr = 1 + leaves
+                                .iter()
+                                .map(|&l| arrival[l as usize])
+                                .max()
+                                .unwrap_or(0);
+                            let af: f32 =
+                                1.0 + leaves.iter().map(|&l| leaf_cost(l)).sum::<f32>();
+                            (arr, af)
+                        };
+                        seen.insert(leaves.clone(), ());
+                        merged.push(Cut { leaves, ptt, arr, af, tcon, trivial: false });
+                    }
+                }
+                debug_assert!(!merged.is_empty(), "AND node must have at least one cut");
+                merged.sort_by(|x, y| {
+                    x.arr
+                        .cmp(&y.arr)
+                        .then(x.af.total_cmp(&y.af))
+                        .then(x.leaves.len().cmp(&y.leaves.len()))
+                });
+                // Keep the best C cuts, plus the best TCON cut if pruning
+                // would drop every one of them.
+                let keep = opts.cuts_per_node.max(1);
+                if merged.len() > keep {
+                    let has_tcon_kept = merged[..keep].iter().any(|c| c.tcon.is_some());
+                    let rescue = if !has_tcon_kept {
+                        merged[keep..].iter().position(|c| c.tcon.is_some())
+                    } else {
+                        None
+                    };
+                    if let Some(r) = rescue {
+                        merged.swap(keep - 1, keep + r);
+                    }
+                    merged.truncate(keep);
+                }
+                arrival[idu] = merged.iter().map(|c| c.arr).min().unwrap_or(0);
+                aflow[idu] = merged
+                    .iter()
+                    .map(|c| c.af)
+                    .fold(f32::INFINITY, f32::min)
+                    .min(1e30);
+                // Trivial cut for parents.
+                merged.push(Cut {
+                    leaves: vec![id],
+                    ptt: vec![Bdd::FALSE, Bdd::TRUE],
+                    arr: arrival[idu],
+                    af: aflow[idu],
+                    tcon: None,
+                    trivial: true,
+                });
+                merged
+            }
+        };
+        cutsets.push(cuts);
+    }
+
+    // ---- cover pass ----
+    let mut required = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    for (_, l) in aig.outputs() {
+        let id = l.node();
+        match aig.node(id) {
+            Node::And(..) => stack.push(id),
+            Node::Input(_) if param_var.contains_key(&id) => stack.push(id),
+            _ => {}
+        }
+    }
+    let mut chosen: FxHashMap<u32, Impl> = FxHashMap::default();
+    while let Some(id) = stack.pop() {
+        if required[id as usize] {
+            continue;
+        }
+        required[id as usize] = true;
+        let cuts = &cutsets[id as usize];
+        let best = cuts
+            .iter()
+            .filter(|c| !c.trivial)
+            .min_by(|x, y| {
+                x.arr
+                    .cmp(&y.arr)
+                    .then(x.af.total_cmp(&y.af))
+                    .then(x.leaves.len().cmp(&y.leaves.len()))
+            })
+            .expect("every required node has a non-trivial cut");
+        let impl_ = if let Some(tc) = &best.tcon {
+            // Only leaves actually selectable under some parameter value
+            // stay connected.
+            for &(pos, _, _) in &tc.choices {
+                let leaf = best.leaves[pos];
+                if matches!(aig.node(leaf), Node::And(..)) {
+                    stack.push(leaf);
+                }
+            }
+            Impl::Tcon {
+                leaves: best.leaves.clone(),
+                ptt: best.ptt.clone(),
+                choices: tc.choices.clone(),
+                const0: tc.const0,
+                const1: tc.const1,
+            }
+        } else {
+            // Support-prune the LUT: drop leaves no entry pair depends on.
+            let (leaves, ptt) = prune_lut(&best.leaves, &best.ptt);
+            for &leaf in &leaves {
+                if matches!(aig.node(leaf), Node::And(..)) {
+                    stack.push(leaf);
+                }
+            }
+            Impl::Lut { leaves, ptt }
+        };
+        chosen.insert(id, impl_);
+    }
+
+    // ---- phase assignment: static polarity per mapped node ----
+    // inv[aig_id] = the emitted wire carries (logical function ⊕ inv).
+    let mut ids: Vec<u32> = chosen.keys().copied().collect();
+    ids.sort_unstable();
+    let mut inv: FxHashMap<u32, bool> = FxHashMap::default();
+    for &id in &ids {
+        let entry = chosen.get(&id).unwrap();
+        match entry {
+            Impl::Lut { .. } => {
+                inv.insert(id, false);
+            }
+            Impl::Tcon { leaves, ptt, choices, .. } => {
+                // Physical polarity constraint: for every choice,
+                // inv(node) = q ⊕ inv(leaf); all must agree.
+                let mut req: Option<bool> = None;
+                let mut consistent = true;
+                for &(pos, q, _) in choices {
+                    let leaf = leaves[pos];
+                    let leaf_inv = inv.get(&leaf).copied().unwrap_or(false);
+                    let r = q ^ leaf_inv;
+                    match req {
+                        None => req = Some(r),
+                        Some(prev) if prev != r => {
+                            consistent = false;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if consistent {
+                    inv.insert(id, req.unwrap_or(false));
+                } else {
+                    // Demote to a TLUT (always feasible: ≤ K leaves).
+                    // Support pruning removes never-selected leaves, which
+                    // were not covered and must not be referenced.
+                    let (pl, pp) = prune_lut(leaves, ptt);
+                    debug_assert!(
+                        pl.iter().all(|l| {
+                            choices.iter().any(|&(pos, _, _)| leaves[pos] == *l)
+                        }),
+                        "demoted TLUT must only use selected leaves"
+                    );
+                    inv.insert(id, false);
+                    chosen.insert(id, Impl::Lut { leaves: pl, ptt: pp });
+                }
+            }
+        }
+    }
+
+    // ---- emit in topological (ascending AIG id) order ----
+    let mut nodes: Vec<MappedNode> = Vec::new();
+    let mut node_of: FxHashMap<u32, u32> = FxHashMap::default();
+    let src_of = |aig_id: u32,
+                  reg_index: &FxHashMap<u32, u32>,
+                  node_of: &FxHashMap<u32, u32>|
+     -> Source {
+        if let Some(&r) = reg_index.get(&aig_id) {
+            Source::Input(r)
+        } else if let Some(&m) = node_of.get(&aig_id) {
+            Source::Node(m)
+        } else {
+            unreachable!("leaf {aig_id} neither input nor mapped node")
+        }
+    };
+    for &id in &ids {
+        let impl_ = &chosen[&id];
+        let mapped = match impl_ {
+            Impl::Lut { leaves, ptt } => {
+                // Absorb inverted-polarity leaves by permuting the PTT.
+                let mut flip_mask = 0usize;
+                for (i, leaf) in leaves.iter().enumerate() {
+                    if inv.get(leaf).copied().unwrap_or(false) {
+                        flip_mask |= 1 << i;
+                    }
+                }
+                let ptt_fixed: Vec<Bdd> = if flip_mask == 0 {
+                    ptt.clone()
+                } else {
+                    (0..ptt.len()).map(|m| ptt[m ^ flip_mask]).collect()
+                };
+                MappedNode::Lut(Tlut {
+                    inputs: leaves
+                        .iter()
+                        .map(|&l| src_of(l, &reg_index, &node_of))
+                        .collect(),
+                    ptt: ptt_fixed,
+                })
+            }
+            Impl::Tcon { leaves, choices, const0, const1, .. } => MappedNode::Tcon(Tcon {
+                choices: choices
+                    .iter()
+                    .map(|&(pos, _, c)| (src_of(leaves[pos], &reg_index, &node_of), c))
+                    .collect(),
+                const0: *const0,
+                const1: *const1,
+                invert: inv[&id],
+            }),
+        };
+        node_of.insert(id, nodes.len() as u32);
+        nodes.push(mapped);
+    }
+
+    // ---- outputs ----
+    let mut outputs = Vec::with_capacity(aig.outputs().len());
+    for (name, l) in aig.outputs() {
+        let id = l.node();
+        let node_inv = inv.get(&id).copied().unwrap_or(false);
+        let (source, invert) = match aig.node(id) {
+            Node::Const => (Source::Const(l.is_neg()), false),
+            Node::Input(_) => {
+                if let Some(&m) = node_of.get(&id) {
+                    (Source::Node(m), l.is_neg() ^ node_inv)
+                } else {
+                    (
+                        Source::Input(*reg_index.get(&id).expect("regular input")),
+                        l.is_neg(),
+                    )
+                }
+            }
+            Node::And(..) => (
+                Source::Node(*node_of.get(&id).expect("covered node")),
+                l.is_neg() ^ node_inv,
+            ),
+        };
+        outputs.push(MappedOutput { name: name.clone(), source, invert });
+    }
+
+    MappedDesign { nodes, outputs, input_names, param_names, bdd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::MappedNode;
+    use logic::aig::{Aig, InputKind};
+
+    fn small_param_circuit() -> Aig {
+        // f = p ? (a & b) : (a | b); g = a ^ (q & b)
+        let mut g = Aig::new();
+        let a = g.input("a", InputKind::Regular);
+        let b = g.input("b", InputKind::Regular);
+        let p = g.input("p", InputKind::Param);
+        let q = g.input("q", InputKind::Param);
+        let ab = g.and(a, b);
+        let aob = g.or(a, b);
+        let f = g.mux(p, ab, aob);
+        let qb = g.and(q, b);
+        let x = g.xor(a, qb);
+        g.add_output("f", f);
+        g.add_output("g", x);
+        g
+    }
+
+    #[test]
+    fn conventional_maps_everything_to_luts() {
+        let aig = small_param_circuit();
+        let d = map_conventional(&aig, MapOptions::default());
+        let s = d.stats();
+        assert!(s.luts >= 1);
+        assert_eq!(s.tcons, 0);
+        assert_eq!(s.tluts, 0, "no parameters honored -> no tunable bits");
+        assert!(d.param_names.is_empty());
+        assert_eq!(d.input_names.len(), 4, "params become regular inputs");
+    }
+
+    #[test]
+    fn parameterized_extracts_tunables() {
+        let aig = small_param_circuit();
+        let d = map_parameterized(&aig, MapOptions::default());
+        let s = d.stats();
+        assert_eq!(d.param_names.len(), 2);
+        assert_eq!(d.input_names.len(), 2);
+        assert!(s.tluts >= 1, "expected tunable LUTs, got {s:?}");
+        assert!(s.luts <= 2, "two outputs, each one TLUT: {s:?}");
+    }
+
+    #[test]
+    fn parameterized_equivalence_all_params() {
+        let aig = small_param_circuit();
+        let d = map_parameterized(&aig, MapOptions::default());
+        crate::verify::assert_equivalent(&aig, &d, 4, 0xFEED);
+    }
+
+    #[test]
+    fn conventional_equivalence() {
+        let aig = small_param_circuit();
+        let d = map_conventional(&aig, MapOptions::default());
+        crate::verify::assert_equivalent(&aig, &d, 4, 0xBEEF);
+    }
+
+    #[test]
+    fn pure_wire_mux_becomes_tcon() {
+        // f = p ? a : b — the canonical TCON example from the paper.
+        let mut g = Aig::new();
+        let a = g.input("a", InputKind::Regular);
+        let b = g.input("b", InputKind::Regular);
+        let p = g.input("p", InputKind::Param);
+        let f = g.mux(p, a, b);
+        g.add_output("f", f);
+        let d = map_parameterized(&g, MapOptions::default());
+        let s = d.stats();
+        assert_eq!(s.tcons, 1, "mux on a parameter is pure routing: {s:?}");
+        assert_eq!(s.luts, 0);
+        assert_eq!(s.depth, 0);
+        crate::verify::assert_equivalent(&g, &d, 4, 1);
+    }
+
+    #[test]
+    fn constant_multiplication_collapses() {
+        // x * c for a 4-bit constant c: partial products are TCONs.
+        let mut g = Aig::new();
+        let x = g.input_vec("x", 4, InputKind::Regular);
+        let c = g.input_vec("c", 4, InputKind::Param);
+        let prod = softfloat::gates::mul_array(&mut g, &x, &c);
+        g.add_output_vec("p", &prod);
+        let conv = map_conventional(&g, MapOptions::default());
+        let par = map_parameterized(&g, MapOptions::default());
+        let (sc, sp) = (conv.stats(), par.stats());
+        assert!(
+            sp.luts < sc.luts,
+            "parameterized map must save LUTs: {} vs {}",
+            sp.luts,
+            sc.luts
+        );
+        assert!(sp.tcons > 0, "expected TCONs: {sp:?}");
+        crate::verify::assert_equivalent(&g, &par, 6, 2);
+        crate::verify::assert_equivalent(&g, &conv, 3, 3);
+    }
+
+    #[test]
+    fn param_only_output_is_tunable_constant() {
+        let mut g = Aig::new();
+        let p = g.input_vec("p", 2, InputKind::Param);
+        let f = g.and(p[0], p[1]);
+        g.add_output("f", f);
+        let d = map_parameterized(&g, MapOptions::default());
+        let s = d.stats();
+        assert_eq!(s.luts, 0);
+        assert_eq!(s.tunable_constants, 1, "{s:?}");
+        crate::verify::assert_equivalent(&g, &d, 4, 9);
+    }
+
+    #[test]
+    fn tcon_depth_is_free() {
+        // Chain of param muxes: depth should stay 0 (pure routing).
+        let mut g = Aig::new();
+        let a = g.input("a", InputKind::Regular);
+        let b = g.input("b", InputKind::Regular);
+        let mut cur = a;
+        for i in 0..5 {
+            let p = g.input(format!("p{i}"), InputKind::Param);
+            cur = g.mux(p, cur, b);
+        }
+        g.add_output("o", cur);
+        let d = map_parameterized(&g, MapOptions::default());
+        assert_eq!(d.stats().depth, 0, "{:?}", d.stats());
+        crate::verify::assert_equivalent(&g, &d, 8, 4);
+    }
+
+    #[test]
+    fn inverted_wire_is_still_a_tcon() {
+        // f = !(p ? a : b): physical routing with invert absorbed at output.
+        let mut g = Aig::new();
+        let a = g.input("a", InputKind::Regular);
+        let b = g.input("b", InputKind::Regular);
+        let p = g.input("p", InputKind::Param);
+        let f = g.mux(p, a, b);
+        g.add_output("f", !f);
+        let d = map_parameterized(&g, MapOptions::default());
+        assert_eq!(d.stats().tcons, 1, "{:?}", d.stats());
+        crate::verify::assert_equivalent(&g, &d, 4, 11);
+    }
+
+    #[test]
+    fn xor_with_param_is_single_tlut() {
+        // f = x ^ p: a 1-input tunable LUT (identity or inverter).
+        let mut g = Aig::new();
+        let x = g.input("x", InputKind::Regular);
+        let p = g.input("p", InputKind::Param);
+        let f = g.xor(x, p);
+        g.add_output("f", f);
+        let d = map_parameterized(&g, MapOptions::default());
+        let s = d.stats();
+        assert_eq!(s.luts, 1, "{s:?}");
+        assert_eq!(s.tluts, 1, "{s:?}");
+        assert_eq!(s.tcons, 0, "an inverting mux is not routable: {s:?}");
+        crate::verify::assert_equivalent(&g, &d, 4, 12);
+    }
+
+    #[test]
+    fn mapped_node_enum_is_exported() {
+        let aig = small_param_circuit();
+        let d = map_parameterized(&aig, MapOptions::default());
+        for n in &d.nodes {
+            match n {
+                MappedNode::Lut(l) => assert!(l.inputs.len() <= 4),
+                MappedNode::Tcon(t) => {
+                    assert!(t.choices.len() <= 8);
+                }
+            }
+        }
+    }
+}

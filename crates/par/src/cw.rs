@@ -1,0 +1,180 @@
+//! Minimum-channel-width search and the end-to-end place & route driver.
+//!
+//! VPR-style methodology: place once (placement does not depend on the
+//! channel width), then binary-search the smallest width the router can
+//! legalize. The paper reports, per flow, the total wirelength and the
+//! minimum channel width (Table I: WL 27242 → 16824, CW 10 → 10).
+
+use crate::netlist::ParNetlist;
+use crate::tplace::{place_multi_seed, Placement};
+use crate::troute::{audit, route, RouteOptions, RouteResult};
+use fabric::arch::FabricArch;
+use fabric::rrg::RouteGraph;
+
+/// Options for the end-to-end run.
+#[derive(Debug, Clone)]
+pub struct ParOptions {
+    /// Placement seeds (run in parallel, best kept).
+    pub seeds: Vec<u64>,
+    /// Router options.
+    pub route: RouteOptions,
+    /// Lower bound to start the width search from.
+    pub min_width: usize,
+    /// Upper bound; failing here aborts with an error.
+    pub max_width: usize,
+}
+
+impl Default for ParOptions {
+    fn default() -> Self {
+        Self {
+            seeds: vec![1],
+            route: RouteOptions::default(),
+            // The paper's designs need ~10 tracks; probing widths far below
+            // that wastes PathFinder iterations on hopeless congestion.
+            min_width: 6,
+            max_width: 96,
+        }
+    }
+}
+
+/// End-to-end place & route report (one flow's PaR columns of Table I).
+pub struct ParReport {
+    /// Fabric used (auto-sized to the netlist).
+    pub arch: FabricArch,
+    /// The placement.
+    pub placement: Placement,
+    /// Minimum routable channel width.
+    pub min_channel_width: usize,
+    /// Routing result at the minimum channel width.
+    pub result: RouteResult,
+}
+
+/// Routes at a specific width; helper for probes.
+pub fn route_at_width(
+    netlist: &ParNetlist,
+    placement: &Placement,
+    arch: FabricArch,
+    width: usize,
+    opts: &RouteOptions,
+) -> Option<RouteResult> {
+    let graph = RouteGraph::build(arch, width);
+    route(netlist, placement, &graph, *opts).ok().map(|r| {
+        debug_assert!(audit(netlist, placement, &graph, &r).is_ok());
+        r
+    })
+}
+
+/// Finds the minimum channel width by doubling then binary search.
+pub fn min_channel_width(
+    netlist: &ParNetlist,
+    placement: &Placement,
+    arch: FabricArch,
+    opts: &ParOptions,
+) -> Option<(usize, RouteResult)> {
+    // Doubling phase.
+    let mut lo = opts.min_width;
+    let mut hi = lo;
+    let mut best: Option<(usize, RouteResult)>;
+    loop {
+        match route_at_width(netlist, placement, arch, hi, &opts.route) {
+            Some(r) => {
+                best = Some((hi, r));
+                break;
+            }
+            None => {
+                lo = hi + 1;
+                hi *= 2;
+                if hi > opts.max_width {
+                    return None;
+                }
+            }
+        }
+    }
+    // Binary search in (lo, hi).
+    let (mut hi_w, _) = (best.as_ref().unwrap().0, ());
+    while lo < hi_w {
+        let mid = (lo + hi_w) / 2;
+        match route_at_width(netlist, placement, arch, mid, &opts.route) {
+            Some(r) => {
+                hi_w = mid;
+                best = Some((mid, r));
+            }
+            None => lo = mid + 1,
+        }
+    }
+    best
+}
+
+/// Auto-sizes a fabric, places (multi-seed), and searches the minimum
+/// channel width.
+pub fn full_par(netlist: &ParNetlist, opts: &ParOptions) -> Result<ParReport, String> {
+    let arch = FabricArch::sized_for(netlist.logic_count(), netlist.io_count());
+    let placement = place_multi_seed(netlist, arch, &opts.seeds);
+    let (w, result) = min_channel_width(netlist, &placement, arch, opts)
+        .ok_or_else(|| format!("unroutable up to width {}", opts.max_width))?;
+    Ok(ParReport { arch, placement, min_channel_width: w, result })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::extract;
+    use logic::aig::{Aig, InputKind};
+    use mapping::{map_conventional, map_parameterized, MapOptions};
+    use softfloat::gates;
+
+    fn small_mul_aig() -> Aig {
+        let mut g = Aig::new();
+        let x = g.input_vec("x", 4, InputKind::Regular);
+        let c = g.input_vec("c", 4, InputKind::Param);
+        let p = gates::mul_array(&mut g, &x, &c);
+        g.add_output_vec("p", &p);
+        g
+    }
+
+    #[test]
+    fn conventional_small_design_pars() {
+        let aig = small_mul_aig();
+        let d = map_conventional(&aig, MapOptions::default());
+        let nl = extract(&d);
+        let rep = full_par(&nl, &ParOptions::default()).expect("routable");
+        assert!(rep.result.wirelength > 0);
+        assert!(rep.min_channel_width >= 2);
+        assert_eq!(rep.result.tcon_switches, 0, "no tunable nets conventionally");
+    }
+
+    #[test]
+    fn parameterized_small_design_pars_with_less_wire() {
+        let aig = small_mul_aig();
+        let conv = map_conventional(&aig, MapOptions::default());
+        let par = map_parameterized(&aig, MapOptions::default());
+        let nl_c = extract(&conv);
+        let nl_p = extract(&par);
+        let rc = full_par(&nl_c, &ParOptions::default()).expect("conv routable");
+        let rp = full_par(&nl_p, &ParOptions::default()).expect("par routable");
+        // The parameterized design has fewer LUT blocks; with TCONs moved
+        // into routing its wirelength should not explode.
+        assert!(nl_p.logic_count() < nl_c.logic_count());
+        assert!(rp.result.wirelength > 0 && rc.result.wirelength > 0);
+    }
+
+    #[test]
+    fn min_width_is_minimal() {
+        let aig = small_mul_aig();
+        let d = map_conventional(&aig, MapOptions::default());
+        let nl = extract(&d);
+        let rep = full_par(&nl, &ParOptions::default()).expect("routable");
+        // Minimality is only guaranteed above the search floor.
+        if rep.min_channel_width > ParOptions::default().min_width {
+            // One narrower must fail (that's what "minimum" means).
+            let narrower = route_at_width(
+                &nl,
+                &rep.placement,
+                rep.arch,
+                rep.min_channel_width - 1,
+                &RouteOptions::default(),
+            );
+            assert!(narrower.is_none(), "width was not minimal");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! TPLACE and TROUTE: place & route for (parameterized) FPGA designs.
+//!
+//! This crate reproduces the role of the TPaR CAD tools [11] used in the
+//! paper's evaluation:
+//!
+//! * [`netlist`] — flattens a mapped design into placeable blocks and
+//!   routing nets. A TCON becomes a **tunable net**: a net with *several
+//!   candidate sources* whose alternatives are mutually exclusive across
+//!   parameter values, so they may share physical wires — exactly how
+//!   TROUTE maps tunable connections onto the FPGA's switch blocks;
+//! * [`tplace`] — simulated-annealing placement with half-perimeter
+//!   wirelength cost (multi-seed parallel variant included);
+//! * [`troute`] — PathFinder-style negotiated-congestion routing on the
+//!   fabric's routing-resource graph, with A* directed expansion;
+//! * [`cw`] — minimum-channel-width binary search and the end-to-end
+//!   [`cw::full_par`] driver that produces the WL/CW columns of Table I.
+
+pub mod cw;
+pub mod netlist;
+pub mod tplace;
+pub mod troute;
+
+pub use cw::{full_par, ParReport};
+pub use netlist::{extract, Block, BlockKind, Net, ParNetlist};
+pub use tplace::{place, place_multi_seed, Placement};
+pub use troute::{route, RouteOptions, RouteResult};

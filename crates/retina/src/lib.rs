@@ -1,0 +1,23 @@
+//! Retinal vessel segmentation (the paper's Fig. 5 HPC application).
+//!
+//! The pipeline follows the paper exactly: from an RGB fundus image the
+//! green channel is retained; preprocessing (histogram equalization, optic
+//! disc removal, outer region removal) runs in software; the filtering
+//! stages — Gaussian denoise (5×5 / 9×9), a bank of steerable matched
+//! filters (seven orientations, 16×16, after Chaudhuri et al. [12]) and a
+//! texture/thickness filter — are the *hardware modules*, executed here
+//! through the VCGRA's bit-exact FloPoCo MAC model.
+//!
+//! Clinical fundus datasets are not redistributable, so [`synth`]
+//! generates synthetic fundus images (field-of-view disc, optic disc blob,
+//! branching vessel trees) with exact ground truth, which lets the
+//! pipeline be scored quantitatively.
+
+pub mod filters;
+pub mod image;
+pub mod pipeline;
+pub mod synth;
+
+pub use image::Image;
+pub use pipeline::{run_pipeline, Metrics, PipelineConfig, PipelineResult};
+pub use synth::{synth_fundus, SynthConfig};

@@ -1,0 +1,324 @@
+//! The full vessel-segmentation pipeline (Fig. 5) plus quality metrics
+//! and reconfiguration accounting.
+//!
+//! Software tasks: green-channel extraction, histogram equalization,
+//! optic-disc removal, outer-region removal. Hardware modules: Gaussian
+//! denoise, seven-orientation matched filtering, texture filtering — run
+//! either on the `f32` reference engine or through the VCGRA MAC model
+//! (bit-exact FloPoCo arithmetic). Every distinct kernel loaded onto the
+//! PEs costs one parameterized reconfiguration; the report prices that
+//! with the `dcs` timing model, reproducing the paper's argument that
+//! 251 ms per PE amortizes to nothing over a 1000-image batch.
+
+use crate::filters::{
+    convolve_f32, convolve_vcgra, gaussian, matched_bank, max_response, texture_filter, Kernel,
+};
+use crate::image::{Image, RgbImage};
+use crate::synth::fov_mask;
+use softfloat::FpFormat;
+
+/// Which engine executes the hardware modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// `f32` software reference.
+    SoftwareF32,
+    /// VCGRA-simulated MAC PEs in the FloPoCo format.
+    Vcgra,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Denoise kernel size: 5 or 9 (the paper applies both variants).
+    pub denoise_size: usize,
+    /// Matched filter kernel size (paper: 16).
+    pub matched_size: usize,
+    /// Matched filter orientations (paper: 7).
+    pub orientations: usize,
+    /// Vessel profile sigma for the matched filters.
+    pub sigma: f32,
+    /// Along-vessel kernel length.
+    pub length: f32,
+    /// Segmentation threshold, as a percentile of the combined response
+    /// inside the field of view (0.88 = top 12 % of pixels become vessel).
+    pub threshold: f32,
+    /// Execution engine for the filters.
+    pub engine: Engine,
+    /// FloPoCo format for the VCGRA engine.
+    pub format: FpFormat,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            denoise_size: 5,
+            matched_size: 16,
+            orientations: 7,
+            sigma: 1.6,
+            length: 9.0,
+            threshold: 0.88,
+            engine: Engine::SoftwareF32,
+            format: FpFormat::PAPER,
+        }
+    }
+}
+
+/// Segmentation quality versus ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct Metrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl Metrics {
+    /// Compares a binary segmentation against the ground truth.
+    pub fn evaluate(segmented: &Image, truth: &Image) -> Metrics {
+        assert_eq!(segmented.data.len(), truth.data.len());
+        let mut m = Metrics { tp: 0, fp: 0, fn_: 0, tn: 0 };
+        for (s, t) in segmented.data.iter().zip(&truth.data) {
+            match (*s > 0.5, *t > 0.5) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, true) => m.fn_ += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Sensitivity (recall).
+    pub fn recall(&self) -> f64 {
+        self.tp as f64 / (self.tp + self.fn_).max(1) as f64
+    }
+
+    /// Precision.
+    pub fn precision(&self) -> f64 {
+        self.tp as f64 / (self.tp + self.fp).max(1) as f64
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy.
+    pub fn accuracy(&self) -> f64 {
+        (self.tp + self.tn) as f64 / (self.tp + self.tn + self.fp + self.fn_).max(1) as f64
+    }
+}
+
+/// Output of a pipeline run.
+pub struct PipelineResult {
+    /// Preprocessed green channel.
+    pub preprocessed: Image,
+    /// After Gaussian denoising.
+    pub denoised: Image,
+    /// Maximum matched-filter response (normalized).
+    pub response: Image,
+    /// After texture filtering (normalized).
+    pub textured: Image,
+    /// Final binary segmentation.
+    pub segmented: Image,
+    /// Distinct filter kernels loaded — each is one PE reconfiguration
+    /// batch in the parameterized overlay.
+    pub kernels_loaded: usize,
+    /// Total MAC coefficients programmed across those kernels.
+    pub coefficients_programmed: usize,
+    /// Wall-clock time per stage, in order: denoise, matched, texture.
+    pub stage_times: [std::time::Duration; 3],
+}
+
+/// Runs the whole pipeline on an RGB fundus image.
+pub fn run_pipeline(img: &RgbImage, cfg: &PipelineConfig) -> PipelineResult {
+    // --- software preprocessing ---
+    let green = img.green();
+    let eq = green.equalized();
+    // Optic disc removal: clamp the brightest tail (the disc) down.
+    let disc_cut = percentile(&eq, 0.98);
+    let mut pre = Image {
+        w: eq.w,
+        h: eq.h,
+        data: eq.data.iter().map(|&v| v.min(disc_cut)).collect(),
+    };
+    // Outer region removal.
+    let fov = fov_mask(pre.w);
+    for (p, f) in pre.data.iter_mut().zip(&fov.data) {
+        *p *= f;
+    }
+
+    let conv = |image: &Image, k: &Kernel| -> Image {
+        match cfg.engine {
+            Engine::SoftwareF32 => convolve_f32(image, k),
+            Engine::Vcgra => convolve_vcgra(image, k, cfg.format),
+        }
+    };
+
+    // --- hardware modules ---
+    let mut kernels_loaded = 0usize;
+    let mut coefficients = 0usize;
+
+    let t0 = std::time::Instant::now();
+    let dk = gaussian(cfg.denoise_size, cfg.denoise_size as f32 / 4.0);
+    kernels_loaded += 1;
+    coefficients += dk.taps.len();
+    let denoised = conv(&pre, &dk);
+    let t_denoise = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    // The matched filters have a negative Gaussian valley: on dark vessels
+    // over a bright background the response is positive at vessel centers
+    // and ~zero on flat background (the kernels are zero-mean).
+    let bank = matched_bank(cfg.matched_size, cfg.sigma, cfg.length, cfg.orientations);
+    let responses: Vec<Image> = bank
+        .iter()
+        .map(|k| {
+            kernels_loaded += 1;
+            coefficients += k.taps.len();
+            conv(&denoised, k)
+        })
+        .collect();
+    let mut response = max_response(&responses).normalized();
+    for (p, f) in response.data.iter_mut().zip(&fov.data) {
+        *p *= f;
+    }
+    let t_matched = t1.elapsed();
+
+    let t2 = std::time::Instant::now();
+    let tk = texture_filter(cfg.matched_size, cfg.sigma);
+    kernels_loaded += 1;
+    coefficients += tk.taps.len();
+    let mut textured = conv(&response, &tk).normalized();
+    for (p, f) in textured.data.iter_mut().zip(&fov.data) {
+        *p *= f;
+    }
+    let t_texture = t2.elapsed();
+
+    // --- threshold: combine the raw response with the texture evidence.
+    // The cut is adaptive: a percentile of the response *inside the field
+    // of view*, so the same configuration works across image sizes and
+    // vessel densities.
+    let combined = Image {
+        w: textured.w,
+        h: textured.h,
+        data: response
+            .data
+            .iter()
+            .zip(&textured.data)
+            .map(|(&r, &t)| 0.6 * r + 0.4 * t)
+            .collect(),
+    };
+    let mut in_fov: Vec<f32> = combined
+        .data
+        .iter()
+        .zip(&fov.data)
+        .filter(|(_, &f)| f > 0.5)
+        .map(|(&v, _)| v)
+        .collect();
+    in_fov.sort_by(|a, b| a.total_cmp(b));
+    let cut = in_fov[(((in_fov.len() - 1) as f32) * cfg.threshold.clamp(0.0, 1.0)) as usize];
+    let segmented = combined.threshold(cut.max(1e-6));
+
+    PipelineResult {
+        preprocessed: pre,
+        denoised,
+        response,
+        textured,
+        segmented,
+        kernels_loaded,
+        coefficients_programmed: coefficients,
+        stage_times: [t_denoise, t_matched, t_texture],
+    }
+}
+
+fn percentile(img: &Image, p: f32) -> f32 {
+    let mut v: Vec<f32> = img.data.clone();
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[((v.len() - 1) as f32 * p) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_fundus, SynthConfig};
+
+    fn small_cfg() -> PipelineConfig {
+        PipelineConfig {
+            matched_size: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_beats_chance_on_synthetic_images() {
+        let (img, truth) = synth_fundus(&SynthConfig { size: 96, ..Default::default() }, 11);
+        let res = run_pipeline(&img, &small_cfg());
+        let m = Metrics::evaluate(&res.segmented, &truth);
+        // Must be far better than random guessing at the same coverage.
+        assert!(m.f1() > 0.35, "F1 {:.3} too low (p {:.2} r {:.2})", m.f1(), m.precision(), m.recall());
+        assert!(m.accuracy() > 0.8, "accuracy {:.3}", m.accuracy());
+    }
+
+    #[test]
+    fn kernel_accounting_matches_config() {
+        let (img, _) = synth_fundus(&SynthConfig { size: 64, ..Default::default() }, 5);
+        let res = run_pipeline(&img, &small_cfg());
+        // 1 denoise + 7 matched + 1 texture.
+        assert_eq!(res.kernels_loaded, 9);
+        assert_eq!(
+            res.coefficients_programmed,
+            5 * 5 + 7 * 12 * 12 + 12 * 12
+        );
+    }
+
+    #[test]
+    fn metrics_arithmetic() {
+        let mut seg = Image::new(2, 2, 0.0);
+        seg.set(0, 0, 1.0);
+        seg.set(1, 0, 1.0);
+        let mut truth = Image::new(2, 2, 0.0);
+        truth.set(0, 0, 1.0);
+        truth.set(0, 1, 1.0);
+        let m = Metrics::evaluate(&seg, &truth);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (1, 1, 1, 1));
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.recall(), 0.5);
+        assert_eq!(m.f1(), 0.5);
+    }
+
+    #[test]
+    fn vcgra_engine_agrees_with_f32_engine() {
+        let (img, _) = synth_fundus(&SynthConfig { size: 48, ..Default::default() }, 9);
+        let sw = run_pipeline(&img, &PipelineConfig { matched_size: 8, ..Default::default() });
+        let hw = run_pipeline(
+            &img,
+            &PipelineConfig {
+                matched_size: 8,
+                engine: Engine::Vcgra,
+                ..Default::default()
+            },
+        );
+        // The engines agree up to FloPoCo rounding; the segmentations must
+        // overlap almost everywhere.
+        let disagree = sw
+            .segmented
+            .data
+            .iter()
+            .zip(&hw.segmented.data)
+            .filter(|(a, b)| a != b)
+            .count();
+        let frac = disagree as f64 / sw.segmented.data.len() as f64;
+        assert!(frac < 0.02, "segmentations disagree on {frac:.3} of pixels");
+    }
+}

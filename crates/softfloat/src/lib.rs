@@ -1,0 +1,24 @@
+//! FloPoCo-format floating point, both as software values and as gate-level
+//! netlists.
+//!
+//! The paper's Processing Element is a floating-point multiply-accumulate in
+//! the FloPoCo format with a **6-bit exponent and a 26-bit mantissa**
+//! (Section IV), built without dedicated multipliers or adders. This crate
+//! reproduces that operator twice:
+//!
+//! * [`format`] — a bit-exact software model ([`FpFormat`], [`FpValue`]) used
+//!   as the golden reference and by the VCGRA functional simulator, and
+//! * [`gen`] — generators that emit the same operators as [`logic::Aig`]
+//!   netlists (array multiplier, alignment shifter, leading-zero counter,
+//!   rounding, exception logic), with the coefficient input annotated as a
+//!   *parameter* so the parameterized tool flow can specialize it.
+//!
+//! The two implementations follow the same algorithm step by step and are
+//! checked against each other exhaustively on narrow formats and
+//! stochastically on the paper's (6, 26) format.
+
+pub mod format;
+pub mod gates;
+pub mod gen;
+
+pub use format::{FpClass, FpFormat, FpValue};

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the CAD flows: technology mapping,
+//! SCG specialization throughput, placement and routing on a mid-size
+//! parameterized design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logic::aig::{Aig, InputKind};
+use mapping::{map_conventional, map_parameterized, MapOptions};
+use softfloat::gen::build_mac_pe;
+use softfloat::FpFormat;
+use std::hint::black_box;
+
+/// Mid-size MAC (5,8): large enough to be representative, small enough to
+/// iterate in a bench.
+fn mac_aig() -> Aig {
+    logic::opt::sweep(&build_mac_pe(FpFormat::new(5, 8), InputKind::Param))
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let aig = mac_aig();
+    let mut g = c.benchmark_group("mapping");
+    g.sample_size(10);
+    g.bench_function("conventional_mac_5_8", |b| {
+        b.iter(|| black_box(map_conventional(&aig, MapOptions::default())))
+    });
+    g.bench_function("parameterized_mac_5_8", |b| {
+        b.iter(|| black_box(map_parameterized(&aig, MapOptions::default())))
+    });
+    g.finish();
+}
+
+fn bench_scg(c: &mut Criterion) {
+    let aig = mac_aig();
+    let design = map_parameterized(&aig, MapOptions::default());
+    let cfg = dcs::ParamConfig::extract(&design);
+    let scg = dcs::Scg::new(&design, &cfg);
+    let n = design.param_names.len();
+    let mut rng = logic::SplitMix64::new(1);
+    let params: Vec<Vec<bool>> = (0..64)
+        .map(|_| (0..n).map(|_| rng.coin()).collect())
+        .collect();
+    let mut i = 0;
+    c.bench_function("scg_specialize_mac_5_8", |b| {
+        b.iter(|| {
+            i = (i + 1) % params.len();
+            black_box(scg.specialize(&params[i]))
+        })
+    });
+}
+
+fn bench_par(c: &mut Criterion) {
+    let aig = mac_aig();
+    let design = map_parameterized(&aig, MapOptions::default());
+    let netlist = par::extract(&design);
+    let arch = fabric::FabricArch::sized_for(netlist.logic_count(), netlist.io_count());
+    let mut g = c.benchmark_group("par");
+    g.sample_size(10);
+    g.bench_function("tplace_mac_5_8", |b| {
+        b.iter(|| black_box(par::place(&netlist, arch, 7)))
+    });
+    let placement = par::place(&netlist, arch, 7);
+    let graph = fabric::RouteGraph::build(arch, 14);
+    g.bench_function("troute_mac_5_8_w14", |b| {
+        b.iter(|| {
+            black_box(
+                par::route(&netlist, &placement, &graph, par::RouteOptions::default())
+                    .expect("routable"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_vcgra_flow(c: &mut Criterion) {
+    let app = vcgra::app::AppGraph::dot_product(
+        FpFormat::PAPER,
+        &[0.0625, 0.25, 0.375, 0.25, 0.0625],
+    );
+    let arch = vcgra::VcgraArch::paper_4x4();
+    c.bench_function("vcgra_flow_5tap_4x4", |b| {
+        b.iter(|| black_box(vcgra::flow::map_app(&app, arch, 42).expect("fits")))
+    });
+}
+
+criterion_group!(benches, bench_mapping, bench_scg, bench_par, bench_vcgra_flow);
+criterion_main!(benches);

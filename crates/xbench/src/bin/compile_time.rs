@@ -1,0 +1,76 @@
+//! Regenerates the **Section II compile-time claim**: the VCGRA tool flow
+//! (PE-granularity synthesis, placement, routing) is orders of magnitude
+//! faster than the standard gate-level FPGA flow, because the higher
+//! abstraction level shrinks the problem size.
+//!
+//! Both flows compile the same application: a 5-tap filter kernel.
+//! * VCGRA flow: dataflow synthesis → PE placement → virtual routing →
+//!   settings generation (the whole Fig. 2 right-hand side).
+//! * FPGA flow: gate-level netlist generation → logic optimization →
+//!   technology mapping → placement (routing excluded — it would only
+//!   widen the gap).
+//!
+//! Usage: `cargo run -p xbench --release --bin compile_time`
+
+use softfloat::FpFormat;
+use vcgra::app::AppGraph;
+use vcgra::flow::map_app;
+use vcgra::VcgraArch;
+use xbench::{print_header, print_row};
+
+fn main() {
+    let coeffs = [0.0625, 0.25, 0.375, 0.25, 0.0625]; // 5-tap binomial
+    let arch = VcgraArch::paper_4x4();
+
+    // --- VCGRA tool flow ---
+    let t0 = std::time::Instant::now();
+    let app = AppGraph::dot_product(FpFormat::PAPER, &coeffs);
+    let mapping = map_app(&app, arch, 42).expect("fits the 4x4 grid");
+    let t_vcgra = t0.elapsed();
+    println!(
+        "VCGRA flow: {} PEs placed, virtual WL {}, settings words {}",
+        app.pe_demand(),
+        mapping.virtual_wirelength,
+        mapping.settings_words().len()
+    );
+
+    // --- standard FPGA flow on the same function (gate level) ---
+    let t1 = std::time::Instant::now();
+    let aig = xbench::build_pe_aig(false); // one PE's worth of gates
+    let t_synth = t1.elapsed();
+    let t2 = std::time::Instant::now();
+    let design = xbench::map_pe(&aig, false);
+    let t_map = t2.elapsed();
+    let t3 = std::time::Instant::now();
+    let netlist = par::extract(&design);
+    let fabric = fabric::FabricArch::sized_for(netlist.logic_count(), netlist.io_count());
+    let _placement = par::place(&netlist, fabric, 1);
+    let t_place = t3.elapsed();
+    let t_fpga = t_synth + t_map + t_place;
+    println!(
+        "FPGA flow (one PE): synth {t_synth:?} + map {t_map:?} + place {t_place:?}"
+    );
+
+    print_header("Section II — compile time, same application");
+    print_row(
+        "VCGRA flow (synth+place+route+settings)",
+        "seconds",
+        &format!("{:.3} ms", t_vcgra.as_secs_f64() * 1e3),
+    );
+    print_row(
+        "FPGA flow (synth+map+place, 1 PE)",
+        "tens of minutes",
+        &format!("{:.1} ms", t_fpga.as_secs_f64() * 1e3),
+    );
+    let ratio = t_fpga.as_secs_f64() / t_vcgra.as_secs_f64().max(1e-9);
+    print_row(
+        "speedup of the VCGRA flow",
+        "orders of magnitude",
+        &format!("{ratio:.0}x"),
+    );
+    println!(
+        "\n(the FPGA column covers a single PE; a full application instantiates\n\
+         {} of them plus interconnect, widening the gap accordingly)",
+        app.pe_demand()
+    );
+}

@@ -1,0 +1,110 @@
+//! Regenerates the **Section V reconfiguration-overhead analysis**.
+//!
+//! The paper estimates 251 ms to micro-reconfigure one PE (526 TLUTs +
+//! 568 TCONs through HWICAP) and argues the cost is negligible when a
+//! coefficient change covers a 1000-image batch. This binary reproduces
+//! the estimate from our own mapped PE, measures the SCG's
+//! Boolean-function evaluation time, reports PPC memory, and prices the
+//! same change on faster interfaces ([6], [16]).
+//!
+//! Usage: `cargo run -p xbench --release --bin reconfig`
+
+use dcs::{pe_reconfig_estimate, ParamConfig, ReconfigInterface, Scg};
+use logic::SplitMix64;
+use xbench::{build_pe_aig, map_pe, print_header, print_row};
+
+fn main() {
+    println!("Building and mapping the parameterized PE ...");
+    let aig = build_pe_aig(true);
+    let design = map_pe(&aig, true);
+    let stats = design.stats();
+    println!(
+        "PE: {} LUTs ({} TLUTs), {} TCONs, {} tunable constants",
+        stats.luts, stats.tluts, stats.tcons, stats.tunable_constants
+    );
+
+    // --- the paper's own population, through our timing model ---
+    let paper_stats = mapping::MapStats {
+        luts: 1802,
+        tluts: 526,
+        tcons: 568,
+        tunable_constants: 0,
+        depth: 33,
+        lut_pins: 0,
+    };
+
+    print_header("Section V — reconfiguration overhead per PE");
+    let t_paper = pe_reconfig_estimate(&paper_stats, ReconfigInterface::Hwicap);
+    print_row(
+        "HWICAP, paper's PE population",
+        "251 ms",
+        &format!("{:.1} ms", t_paper.as_secs_f64() * 1e3),
+    );
+    for iface in [
+        ReconfigInterface::Hwicap,
+        ReconfigInterface::Micap,
+        ReconfigInterface::IcapDma,
+    ] {
+        let t = pe_reconfig_estimate(&stats, iface);
+        print_row(
+            &format!("{}, our PE population", iface.name()),
+            "-",
+            &format!("{:.1} ms", t.as_secs_f64() * 1e3),
+        );
+    }
+
+    // --- SCG measurement on the real PPC ---
+    println!("\nExtracting TC/PPC and measuring the SCG ...");
+    let cfg = ParamConfig::extract(&design);
+    println!(
+        "TC: {} static bits; PPC: {} tunable bits over {} frames; PPC memory: {} BDD nodes",
+        cfg.template_bits(),
+        cfg.ppc_bits(),
+        cfg.tunable_frames(),
+        cfg.ppc_memory_nodes(&design)
+    );
+    let scg = Scg::new(&design, &cfg);
+    let mut rng = SplitMix64::new(7);
+    let n_params = design.param_names.len();
+    let draws: Vec<Vec<bool>> = (0..32)
+        .map(|_| (0..n_params).map(|_| rng.coin()).collect())
+        .collect();
+    let t0 = std::time::Instant::now();
+    let mut bits_total = 0usize;
+    for d in &draws {
+        bits_total += scg.specialize(d).values.len();
+    }
+    let dt = t0.elapsed();
+    print_row(
+        "SCG Boolean evaluation / change",
+        "(embedded CPU)",
+        &format!("{:.2} ms host", dt.as_secs_f64() * 1e3 / draws.len() as f64),
+    );
+    print_row(
+        "PPC bits evaluated / change",
+        "-",
+        &(bits_total / draws.len()).to_string(),
+    );
+
+    // --- coefficient-change working set and amortization ---
+    let old = scg.specialize(&draws[0]);
+    let new = scg.specialize(&draws[1]);
+    let dirty = scg.dirty_frames(&old, &new).len();
+    let port = dcs::timing::reconfig_cost(dirty, ReconfigInterface::Hwicap);
+    print_row(
+        "frames dirtied by a coefficient change",
+        "-",
+        &dirty.to_string(),
+    );
+    print_row(
+        "port time for that change (HWICAP)",
+        "-",
+        &format!("{:.1} ms", port.as_secs_f64() * 1e3),
+    );
+    let per_image = t_paper.as_secs_f64() * 1e3 / 1000.0;
+    print_row(
+        "amortized over 1000 images",
+        "0.251 ms/image",
+        &format!("{per_image:.3} ms/image"),
+    );
+}

@@ -1,0 +1,120 @@
+//! Regenerates **Table I**: resource utilization and PaR results of a PE.
+//!
+//! Paper row (conventional):       2522 LUTs,   0 TCONs, depth 36, WL 27242, CW 10
+//! Paper row (fully parameterized): 1802 LUTs (526 TLUTs), 568 TCONs, depth 33,
+//!                                  WL 16824, CW 10
+//!
+//! Absolute numbers depend on the substrate (our simulator vs. the
+//! authors' Quartus/TCONMAP/TPaR stack); the claims under test are the
+//! *shape*: ≥30 % LUT reduction, hundreds of TCONs moved to routing, a few
+//! logic levels saved, ~31 % wirelength saved, no channel-width overhead.
+//!
+//! Usage: `cargo run -p xbench --release --bin table1 [--skip-par]`
+
+use par::cw::ParOptions;
+use xbench::{build_pe_aig, map_pe, print_header, print_row, reduction};
+
+fn main() {
+    let skip_par = std::env::args().any(|a| a == "--skip-par");
+
+    println!("Building the FP-MAC virtual PE (FloPoCo we=6, wf=26) ...");
+    let conv_aig = build_pe_aig(false);
+    let par_aig = build_pe_aig(true);
+
+    let t0 = std::time::Instant::now();
+    let conv = map_pe(&conv_aig, false);
+    let t_conv = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let par = map_pe(&par_aig, true);
+    let t_par = t1.elapsed();
+    let (sc, sp) = (conv.stats(), par.stats());
+    println!(
+        "mapped: conventional in {t_conv:?}, parameterized in {t_par:?}"
+    );
+
+    print_header("Table I — resource utilization of a PE (mapping)");
+    print_row("4-LUTs, conventional", "2522", &sc.luts.to_string());
+    print_row(
+        "4-LUTs, fully parameterized",
+        "1802",
+        &sp.luts.to_string(),
+    );
+    print_row("  of which TLUTs", "526", &sp.tluts.to_string());
+    print_row("TCONs (mapped tunable connections)", "568", &sp.tcons.to_string());
+    print_row("logic depth, conventional", "36", &sc.depth.to_string());
+    print_row("logic depth, parameterized", "33", &sp.depth.to_string());
+    print_row(
+        "LUT reduction",
+        ">= 30%",
+        &format!("{:.1}%", reduction(sc.luts, sp.luts)),
+    );
+    print_row(
+        "depth reduction",
+        "3 levels (~9%)",
+        &format!("{} levels", sc.depth.saturating_sub(sp.depth)),
+    );
+
+    if skip_par {
+        println!("\n(--skip-par: place & route columns skipped)");
+        return;
+    }
+
+    println!("\nPlace & route (TPLACE + TROUTE, min channel width search) ...");
+    let opts = ParOptions::default();
+    let nl_c = par::extract(&conv);
+    let nl_p = par::extract(&par);
+    let t2 = std::time::Instant::now();
+    let rep_c = par::full_par(&nl_c, &opts).expect("conventional PE routable");
+    println!("conventional PaR done in {:?}", t2.elapsed());
+    let t3 = std::time::Instant::now();
+    let rep_p = par::full_par(&nl_p, &opts).expect("parameterized PE routable");
+    println!("parameterized PaR done in {:?}", t3.elapsed());
+
+    print_header("Table I — PaR results of a PE");
+    print_row(
+        "wirelength, conventional",
+        "27242",
+        &rep_c.result.wirelength.to_string(),
+    );
+    print_row(
+        "wirelength, parameterized",
+        "16824",
+        &rep_p.result.wirelength.to_string(),
+    );
+    print_row(
+        "WL reduction",
+        "~31%",
+        &format!(
+            "{:.1}%",
+            reduction(rep_c.result.wirelength, rep_p.result.wirelength)
+        ),
+    );
+    print_row(
+        "min channel width, conventional",
+        "10",
+        &rep_c.min_channel_width.to_string(),
+    );
+    print_row(
+        "min channel width, parameterized",
+        "10",
+        &rep_p.min_channel_width.to_string(),
+    );
+    print_row(
+        "CW overhead from TCONs",
+        "none",
+        if rep_p.min_channel_width <= rep_c.min_channel_width {
+            "none"
+        } else {
+            "PRESENT (!)"
+        },
+    );
+    print_row(
+        "TCON switch configurations",
+        "(568 TCONs)",
+        &rep_p.result.tcon_switches.to_string(),
+    );
+    println!(
+        "\nfabrics: conventional {0}x{0}, parameterized {1}x{1} logic blocks",
+        rep_c.arch.size, rep_p.arch.size
+    );
+}

@@ -1,0 +1,74 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! Binaries (run with `cargo run -p xbench --release --bin <name>`):
+//!
+//! | binary        | artefact reproduced                                    |
+//! |---------------|--------------------------------------------------------|
+//! | `table1`      | Table I — PE resource utilization and PaR results      |
+//! | `table2`      | Table II — 4×4 VCGRA grid resources                    |
+//! | `reconfig`    | §V reconfiguration-overhead estimate (251 ms per PE)   |
+//! | `compile_time`| §II compile-time claim (VCGRA flow vs gate-level flow) |
+//! | `figures`     | Figs. 1/4 (DOT renders), Fig. 5 (pipeline stage PGMs)  |
+//!
+//! Criterion micro-benchmarks live in `benches/` (SCG throughput, router,
+//! mapper, FloPoCo arithmetic, filter kernels).
+
+use logic::aig::Aig;
+use mapping::{MapOptions, MappedDesign};
+use vcgra::{VirtualPe, VirtualPeConfig};
+
+/// A compact row printer for paper-vs-measured tables.
+pub fn print_row(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<34} {paper:>16} {measured:>18}");
+}
+
+/// Header for paper-vs-measured tables.
+pub fn print_header(title: &str) {
+    println!("\n=== {title} ===");
+    print_row("quantity", "paper", "measured");
+    println!("  {}", "-".repeat(70));
+}
+
+/// Builds the paper's PE netlist (virtual PE, FloPoCo (6,26)) for one flow.
+pub fn build_pe_aig(parameterized: bool) -> Aig {
+    let pe = VirtualPe::build(VirtualPeConfig::default(), parameterized);
+    logic::opt::sweep(&pe.aig)
+}
+
+/// Maps the PE with the flow matching its annotation.
+pub fn map_pe(aig: &Aig, parameterized: bool) -> MappedDesign {
+    if parameterized {
+        mapping::map_parameterized(aig, MapOptions::default())
+    } else {
+        mapping::map_conventional(aig, MapOptions::default())
+    }
+}
+
+/// Percentage reduction helper.
+pub fn reduction(before: usize, after: usize) -> f64 {
+    if before == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - after as f64 / before as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction(100, 70) - 30.0).abs() < 1e-9);
+        assert_eq!(reduction(0, 10), 0.0);
+    }
+
+    #[test]
+    fn pe_builders_differ_only_in_annotation() {
+        let conv = build_pe_aig(false);
+        let par = build_pe_aig(true);
+        assert_eq!(conv.num_inputs(), par.num_inputs());
+        assert!(par.num_inputs_of(logic::aig::InputKind::Param) > 0);
+        assert_eq!(conv.num_inputs_of(logic::aig::InputKind::Param), 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the VCGRA reproduction workspace.
+//!
+//! This crate re-exports the public API of every member crate so that the
+//! examples and integration tests can address the whole system through one
+//! dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+
+pub use dcs;
+pub use fabric;
+pub use logic;
+pub use mapping;
+pub use par;
+pub use retina;
+pub use softfloat;
+pub use vcgra;
