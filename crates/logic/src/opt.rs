@@ -147,10 +147,7 @@ pub fn optimize(aig: &Aig) -> Aig {
     for _ in 0..4 {
         let b = sweep(&balance(&cur));
         let score = (b.num_ands(), b.depth());
-        if score.0 <= best.0 && score.1 <= best.1 && score != best {
-            best = score;
-            cur = b;
-        } else if score.1 < best.1 {
+        if (score.0 <= best.0 && score.1 <= best.1 && score != best) || score.1 < best.1 {
             best = score;
             cur = b;
         } else {

@@ -1,7 +1,7 @@
 //! Synthetic fundus image generator.
 //!
 //! Substitutes the clinical retinal images the paper processes (see
-//! DESIGN.md): a circular field of view over a dark border, a slowly
+//! README.md): a circular field of view over a dark border, a slowly
 //! varying background, a bright optic-disc blob, and a branching vessel
 //! tree grown by biased random walks with tapering width. Vessels darken
 //! the green channel — the property the matched filters detect — and the

@@ -68,8 +68,8 @@ impl FpFormat {
 
     /// Creates a format; widths must fit the `u64` backing store.
     pub fn new(we: u32, wf: u32) -> Self {
-        assert!(we >= 2 && we <= 11, "exponent width out of range");
-        assert!(wf >= 1 && wf <= 52, "fraction width out of range");
+        assert!((2..=11).contains(&we), "exponent width out of range");
+        assert!((1..=52).contains(&wf), "fraction width out of range");
         assert!(3 + we + wf <= 64);
         FpFormat { we, wf }
     }
@@ -273,6 +273,7 @@ impl FpValue {
     }
 
     /// Floating-point multiplication (RNE), mirroring [`crate::gen::gen_mul`].
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: FpValue) -> FpValue {
         let f = self.format;
         assert_eq!(f, rhs.format);
@@ -321,6 +322,7 @@ impl FpValue {
     }
 
     /// Floating-point addition (RNE), mirroring [`crate::gen::gen_add`].
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: FpValue) -> FpValue {
         let f = self.format;
         assert_eq!(f, rhs.format);
@@ -357,7 +359,7 @@ impl FpValue {
         let b_full = small.sig() << 3;
         let dc = d.min(width);
         let mut b = b_full >> dc;
-        let sticky = b_full & ((1u64 << dc) - 1).min(u64::MAX) != 0 && dc > 0;
+        let sticky = b_full & ((1u64 << dc) - 1) != 0 && dc > 0;
         if sticky {
             b |= 1;
         }
@@ -409,6 +411,7 @@ impl FpValue {
     }
 
     /// Subtraction (`self - rhs`), via sign flip.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: FpValue) -> FpValue {
         let f = rhs.format;
         let flipped = FpValue::from_bits(rhs.bits ^ (1u64 << (f.we + f.wf)), f);

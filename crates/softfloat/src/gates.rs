@@ -477,7 +477,7 @@ mod tests {
         check_binop(
             8,
             8,
-            |g, a, b| mul_array(g, a, b),
+            mul_array,
             |a, b| a * b,
             16,
         );
@@ -485,7 +485,7 @@ mod tests {
 
     #[test]
     fn multiplier_asymmetric() {
-        check_binop(5, 9, |g, a, b| mul_array(g, a, b), |a, b| a * b, 14);
+        check_binop(5, 9, mul_array, |a, b| a * b, 14);
     }
 
     #[test]
@@ -594,15 +594,15 @@ mod tests {
 
     #[test]
     fn csa_multiplier_small() {
-        check_binop(8, 8, |g, a, b| mul_csa(g, a, b), |a, b| a * b, 16);
-        check_binop(5, 9, |g, a, b| mul_csa(g, a, b), |a, b| a * b, 14);
+        check_binop(8, 8, mul_csa, |a, b| a * b, 16);
+        check_binop(5, 9, mul_csa, |a, b| a * b, 14);
     }
 
     #[test]
     fn carry_save_array_multiplier() {
-        check_binop(8, 8, |g, a, b| mul_carry_save(g, a, b), |a, b| a * b, 16);
-        check_binop(9, 5, |g, a, b| mul_carry_save(g, a, b), |a, b| a * b, 14);
-        check_binop(1, 7, |g, a, b| mul_carry_save(g, a, b), |a, b| a * b, 8);
+        check_binop(8, 8, mul_carry_save, |a, b| a * b, 16);
+        check_binop(9, 5, mul_carry_save, |a, b| a * b, 14);
+        check_binop(1, 7, mul_carry_save, |a, b| a * b, 8);
     }
 
     #[test]

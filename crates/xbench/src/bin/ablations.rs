@@ -1,4 +1,4 @@
-//! Ablation studies over the design choices DESIGN.md calls out:
+//! Ablation studies over the design choices the README calls out:
 //!
 //! 1. **Virtual intra-connect richness** (`hops` per word link): the paper's
 //!    Fig. 4 shows a connection block *and* a switch block per link

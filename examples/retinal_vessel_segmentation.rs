@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Generates a synthetic fundus image (clinical data is not
-//! redistributable — see DESIGN.md), runs preprocessing in software and
+//! redistributable — see README.md), runs preprocessing in software and
 //! the denoise / matched-filter / texture stages through the bit-exact
 //! FloPoCo MAC model, writes every stage as a PGM image and reports
 //! segmentation quality plus the reconfiguration economics of Section V.

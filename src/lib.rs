@@ -2,8 +2,9 @@
 //!
 //! This crate re-exports the public API of every member crate so that the
 //! examples and integration tests can address the whole system through one
-//! dependency. See `README.md` for the architecture overview and
-//! `DESIGN.md` for the per-experiment index.
+//! dependency. See the repository `README.md` for the architecture
+//! overview, the crate map, and the per-experiment index (the `xbench`
+//! binaries reproduce the paper's Tables I/II and figures).
 
 pub use dcs;
 pub use fabric;
