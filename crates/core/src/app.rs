@@ -111,32 +111,72 @@ impl AppGraph {
         self.outputs.iter().map(|&o| d[o]).max().unwrap_or(0)
     }
 
-    /// Builds a dot product `Σ coeffs[i] · x_i` over `coeffs.len()` external
-    /// inputs: one MUL layer followed by a binary adder tree. This is the
-    /// shape of every filter kernel in the vessel-segmentation pipeline.
-    pub fn dot_product(format: FpFormat, coeffs: &[f64]) -> AppGraph {
-        assert!(!coeffs.is_empty());
-        let mut g = AppGraph::new(format, coeffs.len());
-        let mut layer: Vec<usize> = coeffs
+    /// Indices of the coefficient-bearing nodes (MAC/MUL), in node order.
+    /// This is the parameter vector of the graph: two graphs with the same
+    /// structure differ only in the values stored at these nodes.
+    pub fn coeff_nodes(&self) -> Vec<usize> {
+        self.nodes
             .iter()
             .enumerate()
-            .map(|(i, &c)| {
-                g.add(
-                    format!("mul{i}"),
-                    PeMode::Mul,
-                    Some(FpValue::from_f64(c, format)),
-                    AppSource::External(i),
-                    AppSource::Zero,
-                )
+            .filter(|(_, n)| n.coeff.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Current coefficient values in [`Self::coeff_nodes`] order.
+    pub fn coeff_values(&self) -> Vec<FpValue> {
+        self.nodes.iter().filter_map(|n| n.coeff).collect()
+    }
+
+    /// Clone of the graph with new coefficients written into the
+    /// coefficient-bearing nodes (in [`Self::coeff_nodes`] order). This is a
+    /// parameter-only change: the structure — and therefore any placement or
+    /// routing computed from it — is untouched.
+    pub fn with_coeffs(&self, coeffs: &[FpValue]) -> AppGraph {
+        let slots = self.coeff_nodes();
+        assert_eq!(
+            coeffs.len(),
+            slots.len(),
+            "one coefficient per MAC/MUL node"
+        );
+        let mut g = self.clone();
+        for (&node, &c) in slots.iter().zip(coeffs) {
+            assert_eq!(c.format, self.format, "coefficient format must match");
+            g.nodes[node].coeff = Some(c);
+        }
+        g
+    }
+
+    /// True when two graphs share structure (ops, wiring, outputs, format)
+    /// and differ at most in coefficient values — the condition under which
+    /// one compiled configuration serves both via micro-reconfiguration.
+    pub fn same_structure(&self, other: &AppGraph) -> bool {
+        self.format == other.format
+            && self.num_inputs == other.num_inputs
+            && self.outputs == other.outputs
+            && self.nodes.len() == other.nodes.len()
+            && self.nodes.iter().zip(&other.nodes).all(|(a, b)| {
+                a.op == b.op
+                    && a.a == b.a
+                    && a.b == b.b
+                    && a.coeff.is_some() == b.coeff.is_some()
             })
-            .collect();
+    }
+
+    /// Reduces a layer of node indices with a balanced binary adder tree
+    /// and returns the root node. `tag` prefixes the generated node names
+    /// (`{tag}add_l{level}_{k}`). Kernel builders — here and in the
+    /// runtime's kernel library — share this one reduction so structurally
+    /// equal graphs stay cache-key equal.
+    pub fn reduce_add(&mut self, mut layer: Vec<usize>, tag: &str) -> usize {
+        assert!(!layer.is_empty());
         let mut level = 0;
         while layer.len() > 1 {
             let mut next = Vec::with_capacity(layer.len().div_ceil(2));
             for (k, pair) in layer.chunks(2).enumerate() {
                 if pair.len() == 2 {
-                    next.push(g.add(
-                        format!("add_l{level}_{k}"),
+                    next.push(self.add(
+                        format!("{tag}add_l{level}_{k}"),
                         PeMode::Add,
                         None,
                         AppSource::Node(pair[0]),
@@ -149,7 +189,30 @@ impl AppGraph {
             layer = next;
             level += 1;
         }
-        g.mark_output(layer[0]);
+        layer[0]
+    }
+
+    /// Builds a dot product `Σ coeffs[i] · x_i` over `coeffs.len()` external
+    /// inputs: one MUL layer followed by a binary adder tree. This is the
+    /// shape of every filter kernel in the vessel-segmentation pipeline.
+    pub fn dot_product(format: FpFormat, coeffs: &[f64]) -> AppGraph {
+        assert!(!coeffs.is_empty());
+        let mut g = AppGraph::new(format, coeffs.len());
+        let layer: Vec<usize> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                g.add(
+                    format!("mul{i}"),
+                    PeMode::Mul,
+                    Some(FpValue::from_f64(c, format)),
+                    AppSource::External(i),
+                    AppSource::Zero,
+                )
+            })
+            .collect();
+        let root = g.reduce_add(layer, "");
+        g.mark_output(root);
         g
     }
 
@@ -238,6 +301,28 @@ mod tests {
         let g = AppGraph::scaling_cascade(F, &[2.0, 2.0, 2.0, 2.0]);
         assert_eq!(g.pe_demand(), 4);
         assert_eq!(g.depth(), 4);
+    }
+
+    #[test]
+    fn coeff_swap_is_structure_preserving() {
+        let g = AppGraph::dot_product(F, &[1.0, 2.0, 3.0]);
+        let slots = g.coeff_nodes();
+        assert_eq!(slots.len(), 3, "three MUL taps");
+        let new: Vec<FpValue> =
+            [9.0, 8.0, 7.0].iter().map(|&c| FpValue::from_f64(c, F)).collect();
+        let h = g.with_coeffs(&new);
+        assert!(g.same_structure(&h));
+        assert_eq!(h.coeff_values()[0].to_f64(), 9.0);
+        // Different structure: an extra tap.
+        let k = AppGraph::dot_product(F, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(!g.same_structure(&k));
+    }
+
+    #[test]
+    #[should_panic(expected = "one coefficient per MAC/MUL node")]
+    fn coeff_swap_arity_checked() {
+        let g = AppGraph::dot_product(F, &[1.0, 2.0, 3.0]);
+        g.with_coeffs(&[FpValue::from_f64(1.0, F)]);
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub struct RoutedEdge {
 }
 
 /// Result of mapping an application onto a VCGRA.
-#[derive(Debug)]
+///
+/// `Clone` lets a configuration cache hand out per-tenant copies of one
+/// compiled placement whose settings are then specialized independently.
+#[derive(Debug, Clone)]
 pub struct VcgraMapping {
     /// The target architecture.
     pub arch: VcgraArch,

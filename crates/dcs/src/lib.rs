@@ -22,4 +22,6 @@ pub mod timing;
 
 pub use ppc::{BitAddr, ConfigKind, ParamConfig};
 pub use scg::{Scg, SpecializedBits};
-pub use timing::{pe_reconfig_estimate, ReconfigInterface, ReconfigReport};
+pub use timing::{
+    paper_pe_reconfig, paper_pe_stats, pe_reconfig_estimate, ReconfigInterface, ReconfigReport,
+};

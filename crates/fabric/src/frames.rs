@@ -29,6 +29,16 @@ impl FrameModel {
         Self { size: arch.size, tiles_per_frame: 4, words_per_frame: 41 }
     }
 
+    /// Frame model for the settings plane of a `rows × cols` overlay grid:
+    /// the square fabric region hosting it. Each grid cell's settings
+    /// register lives in the frame returned by [`Self::lut_frame`] for
+    /// `Site::Logic { x: col, y: row }` — cells in the same column stripe
+    /// share a frame, so a parameter change touching several vertically
+    /// adjacent PEs is one frame read-modify-write, not many.
+    pub fn for_grid(rows: usize, cols: usize) -> Self {
+        Self { size: rows.max(cols).max(2), tiles_per_frame: 4, words_per_frame: 41 }
+    }
+
     fn stripes(&self) -> usize {
         self.size.div_ceil(self.tiles_per_frame)
     }
@@ -73,6 +83,16 @@ mod tests {
         assert_eq!(f00, f03, "same stripe, same frame");
         assert_ne!(f00, f04, "next stripe, next frame");
         assert_ne!(f00, f10, "other column, other frame");
+    }
+
+    #[test]
+    fn grid_settings_frames_stripe_by_column() {
+        let m = FrameModel::for_grid(4, 4);
+        let f = |r: usize, c: usize| m.lut_frame(Site::Logic { x: c, y: r });
+        assert_eq!(f(0, 0), f(3, 0), "a 4-row column stripe is one frame");
+        assert_ne!(f(0, 0), f(0, 1), "columns get distinct frames");
+        // Degenerate grids still address ≥ 1 stripe.
+        assert!(FrameModel::for_grid(2, 2).frame_count() > 0);
     }
 
     #[test]

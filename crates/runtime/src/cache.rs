@@ -1,0 +1,229 @@
+//! The specialized-configuration cache.
+//!
+//! A compiled configuration (placement + routing + settings template) is
+//! keyed by the pair **(region architecture, graph structure)** — the
+//! coefficient *values* are deliberately excluded. Two applications that
+//! differ only in parameters (new filter taps, new iteration counts) hit
+//! the same entry: the expensive `map_app` compile is skipped and only the
+//! settings are specialized, which is the micro-reconfiguration fast path.
+//! A structural change (different wiring, different ops, different region)
+//! misses and triggers a full recompile.
+//!
+//! Eviction is least-recently-used over a fixed capacity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vcgra::app::{AppGraph, AppSource};
+use vcgra::flow::VcgraMapping;
+use vcgra::{PeMode, VcgraArch};
+
+/// Structure-only signature of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NodeSig {
+    op: u8,
+    a: (u8, usize),
+    b: (u8, usize),
+    has_coeff: bool,
+}
+
+fn src_sig(s: AppSource) -> (u8, usize) {
+    match s {
+        AppSource::External(i) => (0, i),
+        AppSource::Node(j) => (1, j),
+        AppSource::Zero => (2, 0),
+    }
+}
+
+fn op_sig(op: PeMode) -> u8 {
+    match op {
+        PeMode::Mac => 0,
+        PeMode::Mul => 1,
+        PeMode::Add => 2,
+        PeMode::Pass => 3,
+    }
+}
+
+/// Cache key: region architecture + graph structure, coefficients excluded.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConfigKey {
+    rows: usize,
+    cols: usize,
+    channel_capacity: usize,
+    we: u32,
+    wf: u32,
+    num_inputs: usize,
+    nodes: Vec<NodeSig>,
+    outputs: Vec<usize>,
+}
+
+impl ConfigKey {
+    /// Builds the key for a graph compiled onto a region architecture.
+    pub fn new(region: VcgraArch, app: &AppGraph) -> Self {
+        ConfigKey {
+            rows: region.rows,
+            cols: region.cols,
+            channel_capacity: region.channel_capacity,
+            we: app.format.we,
+            wf: app.format.wf,
+            num_inputs: app.num_inputs,
+            nodes: app
+                .nodes
+                .iter()
+                .map(|n| NodeSig {
+                    op: op_sig(n.op),
+                    a: src_sig(n.a),
+                    b: src_sig(n.b),
+                    has_coeff: n.coeff.is_some(),
+                })
+                .collect(),
+            outputs: app.outputs.clone(),
+        }
+    }
+}
+
+/// One cached compile result. The mapping's settings hold whatever
+/// coefficients the entry was compiled with; consumers clone it and write
+/// their own parameters in (that rewrite is the fast path being bought).
+#[derive(Debug)]
+pub struct CachedConfig {
+    /// The compiled placement/routing/settings, region-local coordinates.
+    pub mapping: VcgraMapping,
+    /// Host wall-clock of the `map_app` compile that produced it.
+    pub compile_time: Duration,
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a structurally identical configuration.
+    pub hits: u64,
+    /// Lookups that required a compile.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+/// LRU cache of compiled configurations.
+pub struct ConfigCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<ConfigKey, (Arc<CachedConfig>, u64)>,
+    stats: CacheStats,
+}
+
+impl ConfigCache {
+    /// Creates a cache holding at most `capacity` configurations.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        ConfigCache { capacity, tick: 0, entries: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    /// Looks a configuration up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &ConfigKey) -> Option<Arc<CachedConfig>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((cfg, used)) => {
+                *used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(cfg))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled configuration, evicting the least
+    /// recently used entry if the cache is full.
+    pub fn insert(&mut self, key: ConfigKey, cfg: CachedConfig) -> Arc<CachedConfig> {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        let arc = Arc::new(cfg);
+        self.entries.insert(key, (Arc::clone(&arc), self.tick));
+        arc
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no configuration is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::{FpFormat, FpValue};
+    use vcgra::flow::map_app;
+
+    const F: FpFormat = FpFormat::PAPER;
+
+    fn compile(app: &AppGraph, arch: VcgraArch) -> CachedConfig {
+        let m = map_app(app, arch, 7).expect("mappable");
+        let t = m.compile_time;
+        CachedConfig { mapping: m, compile_time: t }
+    }
+
+    #[test]
+    fn parameter_only_variants_share_a_key() {
+        let arch = VcgraArch::paper_4x4();
+        let a = AppGraph::dot_product(F, &[1.0, 2.0, 3.0]);
+        let b = a.with_coeffs(
+            &[9.0, -1.0, 0.5].map(|c| FpValue::from_f64(c, F)),
+        );
+        assert_eq!(ConfigKey::new(arch, &a), ConfigKey::new(arch, &b));
+        // Structural change: different key.
+        let c = AppGraph::dot_product(F, &[1.0, 2.0, 3.0, 4.0]);
+        assert_ne!(ConfigKey::new(arch, &a), ConfigKey::new(arch, &c));
+        // Same graph, different region: different key.
+        assert_ne!(
+            ConfigKey::new(arch, &a),
+            ConfigKey::new(VcgraArch::new(2, 4, 2), &a)
+        );
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let arch = VcgraArch::paper_4x4();
+        let apps: Vec<AppGraph> = (2..=5)
+            .map(|n| AppGraph::dot_product(F, &vec![1.0; n]))
+            .collect();
+        let mut cache = ConfigCache::new(2);
+        for app in &apps[..2] {
+            let key = ConfigKey::new(arch, app);
+            assert!(cache.get(&key).is_none());
+            cache.insert(key, compile(app, arch));
+        }
+        // Touch the first entry so the second becomes LRU.
+        assert!(cache.get(&ConfigKey::new(arch, &apps[0])).is_some());
+        cache.insert(ConfigKey::new(arch, &apps[2]), compile(&apps[2], arch));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&ConfigKey::new(arch, &apps[0])).is_some(), "kept");
+        assert!(cache.get(&ConfigKey::new(arch, &apps[1])).is_none(), "evicted");
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.hits >= 2 && s.misses >= 3);
+    }
+}

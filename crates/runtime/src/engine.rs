@@ -1,0 +1,223 @@
+//! Batched streaming execution over the grid pool.
+//!
+//! Execution is organized by **band** (the scheduler's unit of spatial
+//! isolation): bands are independent hardware regions, so they run on
+//! parallel worker threads; tenants *within* a shared band are
+//! time-multiplexed, so they run serialized, and every slot change is
+//! charged a full-region micro-reconfiguration in the ledger (the cost
+//! that makes oversubscription visible).
+//!
+//! Every input vector streams through [`vcgra::sim::run_mapped`], i.e.
+//! through the tenant's placed settings in bit-exact FloPoCo arithmetic —
+//! the same value `run_dataflow` computes, which is what the bit-exactness
+//! acceptance tests pin down.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use softfloat::FpValue;
+use vcgra::app::AppGraph;
+use vcgra::flow::VcgraMapping;
+use vcgra::sim::run_mapped;
+
+use crate::pool::TenantId;
+
+/// One tenant's work within a band.
+pub struct Job<'a> {
+    /// The tenant being served.
+    pub tenant: TenantId,
+    /// Its application graph (current parameters).
+    pub graph: &'a AppGraph,
+    /// Its placed configuration (settings match the graph).
+    pub mapping: &'a VcgraMapping,
+    /// Input vectors to stream.
+    pub inputs: Vec<Vec<FpValue>>,
+}
+
+/// All work scheduled onto one band this run.
+pub struct BandWork<'a> {
+    /// True when the band time-multiplexes several tenants.
+    pub shared: bool,
+    /// True when the band's resident configuration (from a previous run)
+    /// is not the first job's — the first slot must swap in too.
+    pub swap_in_first: bool,
+    /// Modeled port time of one context switch (full-region reconfig).
+    pub switch_cost: Duration,
+    /// Jobs, executed in order (run-to-completion per slot).
+    pub jobs: Vec<Job<'a>>,
+}
+
+/// Per-tenant result of one streaming run.
+#[derive(Debug, Clone)]
+pub struct TenantRun {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// One output vector per input vector, in order.
+    pub outputs: Vec<Vec<FpValue>>,
+    /// Input vectors processed.
+    pub items: usize,
+    /// Batches (chunks of `batch_size`) processed.
+    pub batches: usize,
+    /// Measured host execution time.
+    pub exec_time: Duration,
+    /// Context switches charged to this tenant (slot swap-ins).
+    pub context_switches: usize,
+    /// Modeled port time of those switches.
+    pub switch_port_time: Duration,
+}
+
+impl TenantRun {
+    /// Items per second of measured host execution.
+    pub fn throughput(&self) -> f64 {
+        self.items as f64 / self.exec_time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs every band, bands in parallel on up to `workers` threads, jobs
+/// within a band serialized. `batch_size` is the streaming chunk size
+/// (accounting granularity of the `batches` counter).
+pub fn run_bands(bands: Vec<BandWork<'_>>, workers: usize, batch_size: usize) -> Vec<TenantRun> {
+    assert!(batch_size > 0);
+    let queue = Mutex::new(bands.into_iter().collect::<VecDeque<_>>());
+    let results = Mutex::new(Vec::new());
+    let n_workers = workers.max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let band = match queue.lock().unwrap().pop_front() {
+                    Some(b) => b,
+                    None => break,
+                };
+                let mut runs = Vec::with_capacity(band.jobs.len());
+                for (slot, job) in band.jobs.into_iter().enumerate() {
+                    // Every slot after the first swaps a different tenant's
+                    // configuration into the shared region; the first slot
+                    // swaps in as well when another tenant was resident.
+                    let swap_in = slot > 0 || band.swap_in_first;
+                    let switches = if band.shared && swap_in { 1 } else { 0 };
+                    let mut outputs = Vec::with_capacity(job.inputs.len());
+                    let mut batches = 0;
+                    let t0 = std::time::Instant::now();
+                    for chunk in job.inputs.chunks(batch_size) {
+                        for input in chunk {
+                            outputs.push(run_mapped(job.mapping, job.graph, input));
+                        }
+                        batches += 1;
+                    }
+                    let exec_time = t0.elapsed();
+                    runs.push(TenantRun {
+                        tenant: job.tenant,
+                        items: outputs.len(),
+                        outputs,
+                        batches,
+                        exec_time,
+                        context_switches: switches,
+                        switch_port_time: band.switch_cost * switches as u32,
+                    });
+                }
+                results.lock().unwrap().extend(runs);
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|r| r.tenant);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::FpFormat;
+    use vcgra::flow::map_app;
+    use vcgra::sim::run_dataflow;
+    use vcgra::VcgraArch;
+
+    const F: FpFormat = FpFormat::PAPER;
+
+    fn fp(x: f64) -> FpValue {
+        FpValue::from_f64(x, F)
+    }
+
+    #[test]
+    fn parallel_bands_match_run_dataflow() {
+        let apps: Vec<AppGraph> = vec![
+            AppGraph::dot_product(F, &[0.5, 0.25, 0.125]),
+            AppGraph::mac_chain(F, &[1.0, -1.0]),
+        ];
+        let mappings: Vec<_> = apps
+            .iter()
+            .map(|a| map_app(a, VcgraArch::paper_4x4(), 3).unwrap())
+            .collect();
+        let inputs: Vec<Vec<Vec<FpValue>>> = apps
+            .iter()
+            .map(|a| {
+                (0..10)
+                    .map(|i| (0..a.num_inputs).map(|j| fp((i * 7 + j) as f64 * 0.5)).collect())
+                    .collect()
+            })
+            .collect();
+        let bands: Vec<BandWork> = apps
+            .iter()
+            .zip(&mappings)
+            .zip(&inputs)
+            .enumerate()
+            .map(|(t, ((graph, mapping), ins))| BandWork {
+                shared: false,
+                swap_in_first: false,
+                switch_cost: Duration::ZERO,
+                jobs: vec![Job {
+                    tenant: t as TenantId,
+                    graph,
+                    mapping,
+                    inputs: ins.clone(),
+                }],
+            })
+            .collect();
+        let runs = run_bands(bands, 4, 4);
+        assert_eq!(runs.len(), 2);
+        for (t, run) in runs.iter().enumerate() {
+            assert_eq!(run.items, 10);
+            assert_eq!(run.batches, 3, "10 items in chunks of 4");
+            assert_eq!(run.context_switches, 0);
+            for (input, out) in inputs[t].iter().zip(&run.outputs) {
+                let want = run_dataflow(&apps[t], input);
+                let got: Vec<u64> = out.iter().map(|v| v.bits).collect();
+                let want_bits: Vec<u64> = want.iter().map(|v| v.bits).collect();
+                assert_eq!(got, want_bits, "tenant {t} bit-exact");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_band_charges_context_switches() {
+        let app = AppGraph::dot_product(F, &[1.0, 2.0]);
+        let mapping = map_app(&app, VcgraArch::paper_4x4(), 1).unwrap();
+        let inputs: Vec<Vec<FpValue>> = vec![vec![fp(1.0), fp(2.0)]; 3];
+        let cost = Duration::from_millis(100);
+        let band = BandWork {
+            shared: true,
+            swap_in_first: false,
+            switch_cost: cost,
+            jobs: (0..3)
+                .map(|t| Job { tenant: t, graph: &app, mapping: &mapping, inputs: inputs.clone() })
+                .collect(),
+        };
+        let runs = run_bands(vec![band], 2, 8);
+        assert_eq!(runs[0].context_switches, 0, "first slot is already resident");
+        assert_eq!(runs[1].context_switches, 1);
+        assert_eq!(runs[2].context_switches, 1);
+        assert_eq!(runs[1].switch_port_time, cost);
+
+        // With another tenant resident from a previous run, the first slot
+        // pays a swap-in too.
+        let band = BandWork {
+            shared: true,
+            swap_in_first: true,
+            switch_cost: cost,
+            jobs: vec![Job { tenant: 0, graph: &app, mapping: &mapping, inputs }],
+        };
+        let runs = run_bands(vec![band], 1, 8);
+        assert_eq!(runs[0].context_switches, 1, "resident tenant differs");
+    }
+}

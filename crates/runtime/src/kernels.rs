@@ -1,0 +1,230 @@
+//! Kernel library: the application workloads the runtime serves.
+//!
+//! Every kernel is an [`AppGraph`] builder, so each one goes through the
+//! same compile path (`vcgra::flow::map_app`), the same configuration
+//! cache, and the same bit-exact FloPoCo execution. The set is chosen to
+//! exercise genuinely different dataflow shapes:
+//!
+//! * [`fir`] — 1-D filter: multiply layer + balanced adder tree;
+//! * [`separable_stencil`] — 2-D stencil over a window, factored into
+//!   per-row dot products followed by a column combine (the classic
+//!   separable-convolution trick, here spatially unrolled);
+//! * [`matvec`] — tiled dense matrix–vector product: one dot-product tile
+//!   per output row, all rows sharing the input vector;
+//! * [`tree_reduction`] — pure adder tree (no coefficients, so a
+//!   parameter swap on it is a no-op — the degenerate cache case);
+//! * [`retina_stage`] — the vessel-segmentation filter kernels from the
+//!   `retina` crate (Gaussian denoise, matched filter, texture filter)
+//!   re-exported as runtime workloads.
+
+use retina::filters::{gaussian, matched_filter, texture_filter, Kernel};
+use softfloat::{FpFormat, FpValue};
+use vcgra::app::{AppGraph, AppSource};
+use vcgra::PeMode;
+
+/// A named application workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (shows up in the serve table and the ledger).
+    pub name: String,
+    /// The dataflow graph.
+    pub graph: AppGraph,
+}
+
+impl Workload {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, graph: AppGraph) -> Self {
+        Workload { name: name.into(), graph }
+    }
+}
+
+/// FIR filter over a `taps.len()`-sample window: multiply layer plus
+/// balanced adder tree (the spatial mapping of the paper's filter kernels).
+pub fn fir(format: FpFormat, taps: &[f64]) -> Workload {
+    Workload::new(
+        format!("fir{}", taps.len()),
+        AppGraph::dot_product(format, taps),
+    )
+}
+
+/// Separable 2-D stencil over a `col.len() × row.len()` window.
+///
+/// External input `r * row.len() + c` is window pixel `(r, c)`. Each window
+/// row is reduced with the horizontal taps, each row result is scaled by
+/// its vertical tap, and a final adder tree combines the rows — exactly
+/// `Σ_r col[r] · Σ_c row[c] · x[r][c]`.
+pub fn separable_stencil(format: FpFormat, row: &[f64], col: &[f64]) -> Workload {
+    assert!(!row.is_empty() && !col.is_empty());
+    let mut g = AppGraph::new(format, row.len() * col.len());
+    let mut scaled_rows = Vec::with_capacity(col.len());
+    for (r, &cv) in col.iter().enumerate() {
+        let muls: Vec<usize> = row
+            .iter()
+            .enumerate()
+            .map(|(c, &rv)| {
+                g.add(
+                    format!("r{r}mul{c}"),
+                    PeMode::Mul,
+                    Some(FpValue::from_f64(rv, format)),
+                    AppSource::External(r * row.len() + c),
+                    AppSource::Zero,
+                )
+            })
+            .collect();
+        let row_sum = g.reduce_add(muls, &format!("r{r}_"));
+        scaled_rows.push(g.add(
+            format!("colmul{r}"),
+            PeMode::Mul,
+            Some(FpValue::from_f64(cv, format)),
+            AppSource::Node(row_sum),
+            AppSource::Zero,
+        ));
+    }
+    let out = g.reduce_add(scaled_rows, "col_");
+    g.mark_output(out);
+    Workload::new(format!("stencil{}x{}", col.len(), row.len()), g)
+}
+
+/// Tiled dense matrix–vector product `y = A·x` for an `M × N` matrix:
+/// one dot-product tile per output row, all tiles reading the shared
+/// input vector. The graph has `M` outputs.
+pub fn matvec(format: FpFormat, a: &[Vec<f64>]) -> Workload {
+    assert!(!a.is_empty());
+    let n = a[0].len();
+    assert!(a.iter().all(|row| row.len() == n), "rectangular matrix");
+    let mut g = AppGraph::new(format, n);
+    for (m, row) in a.iter().enumerate() {
+        let muls: Vec<usize> = row
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| {
+                g.add(
+                    format!("t{m}mul{j}"),
+                    PeMode::Mul,
+                    Some(FpValue::from_f64(c, format)),
+                    AppSource::External(j),
+                    AppSource::Zero,
+                )
+            })
+            .collect();
+        let out = g.reduce_add(muls, &format!("t{m}_"));
+        g.mark_output(out);
+    }
+    Workload::new(format!("matvec{}x{}", a.len(), n), g)
+}
+
+/// Pure `n`-input tree reduction (sum). No coefficient-bearing nodes, so
+/// its parameter vector is empty: the configuration cache serves every
+/// instance of a given `n` from one entry.
+pub fn tree_reduction(format: FpFormat, n: usize) -> Workload {
+    assert!(n >= 2);
+    let mut g = AppGraph::new(format, n);
+    let leaves: Vec<usize> = (0..n)
+        .map(|i| {
+            g.add(
+                format!("leaf{i}"),
+                PeMode::Pass,
+                None,
+                AppSource::External(i),
+                AppSource::Zero,
+            )
+        })
+        .collect();
+    let out = g.reduce_add(leaves, "red_");
+    g.mark_output(out);
+    Workload::new(format!("reduce{n}"), g)
+}
+
+/// A vessel-segmentation filter kernel as a runtime workload: the kernel's
+/// taps become the coefficient vector of a dot product over the pixel
+/// window (the same shape `retina::filters::convolve_vcgra` streams
+/// through the MAC PEs).
+pub fn retina_stage(format: FpFormat, kernel: &Kernel) -> Workload {
+    let taps: Vec<f64> = kernel.taps.iter().map(|&t| t as f64).collect();
+    Workload::new(
+        format!("retina_{}", kernel.name),
+        AppGraph::dot_product(format, &taps),
+    )
+}
+
+/// The standard mixed-tenant set: one of each dataflow shape, sized to fit
+/// comfortably on small grid regions. `serve` and the integration tests
+/// drive exactly this library.
+pub fn library(format: FpFormat) -> Vec<Workload> {
+    vec![
+        fir(format, &[0.0625, 0.25, 0.375, 0.25, 0.0625]),
+        separable_stencil(format, &[0.25, 0.5, 0.25], &[0.25, 0.5, 0.25]),
+        matvec(
+            format,
+            &[
+                vec![1.0, 0.5, 0.25, 0.125],
+                vec![-1.0, 2.0, -0.5, 0.75],
+                vec![0.5, 0.5, 0.5, 0.5],
+            ],
+        ),
+        tree_reduction(format, 8),
+        retina_stage(format, &gaussian(3, 0.85)),
+        retina_stage(format, &texture_filter(3, 1.2)),
+    ]
+}
+
+/// A larger retina stage for soak runs (needs a bigger grid region).
+pub fn retina_soak_stage(format: FpFormat) -> Workload {
+    retina_stage(format, &matched_filter(5, 1.6, 4.0, 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcgra::sim::run_dataflow;
+
+    const F: FpFormat = FpFormat::PAPER;
+
+    fn fp(x: f64) -> FpValue {
+        FpValue::from_f64(x, F)
+    }
+
+    #[test]
+    fn stencil_matches_direct_sum() {
+        let w = separable_stencil(F, &[0.25, 0.5, 0.25], &[1.0, 2.0, 1.0]);
+        // Window values 1..9 row-major.
+        let inputs: Vec<FpValue> = (1..=9).map(|v| fp(v as f64)).collect();
+        let got = run_dataflow(&w.graph, &inputs)[0].to_f64();
+        let rows: [f64; 3] = std::array::from_fn(|r| {
+            (0..3).map(|c| [0.25, 0.5, 0.25][c] * (r * 3 + c + 1) as f64).sum()
+        });
+        let want = 1.0 * rows[0] + 2.0 * rows[1] + 1.0 * rows[2];
+        assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn matvec_produces_one_output_per_row() {
+        let a = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let w = matvec(F, &a);
+        assert_eq!(w.graph.outputs.len(), 3);
+        let out = run_dataflow(&w.graph, &[fp(10.0), fp(1.0)]);
+        assert_eq!(out[0].to_f64(), 12.0);
+        assert_eq!(out[1].to_f64(), 34.0);
+        assert_eq!(out[2].to_f64(), 56.0);
+    }
+
+    #[test]
+    fn tree_reduction_sums_and_has_no_params() {
+        let w = tree_reduction(F, 8);
+        assert!(w.graph.coeff_nodes().is_empty());
+        let inputs: Vec<FpValue> = (0..8).map(|v| fp(v as f64)).collect();
+        assert_eq!(run_dataflow(&w.graph, &inputs)[0].to_f64(), 28.0);
+    }
+
+    #[test]
+    fn library_is_diverse_and_mappable() {
+        let lib = library(F);
+        assert!(lib.len() >= 4, "at least four distinct kernels");
+        for w in &lib {
+            // Every library kernel fits an 8x8 grid region.
+            assert!(w.graph.pe_demand() <= 64, "{} too big", w.name);
+            vcgra::flow::map_app(&w.graph, vcgra::VcgraArch::new(8, 8, 2), 1)
+                .unwrap_or_else(|e| panic!("{} unmappable: {e}", w.name));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! `vcgra-runtime` — a multi-tenant overlay runtime for the fully
+//! parameterized VCGRA.
+//!
+//! The paper's value proposition is that a parameterized overlay turns an
+//! application change into millisecond-scale **micro-reconfiguration**
+//! instead of a full place-and-route. This crate is the layer that
+//! *serves* that proposition: concurrent applications submit dataflow
+//! graphs, the runtime compiles each structure **once**, and every
+//! subsequent parameter-only change (new filter coefficients, new
+//! iteration counters) is a settings rewrite priced at exactly its dirty
+//! configuration frames.
+//!
+//! Architecture (each piece has its own module):
+//!
+//! * [`cache`] — the **specialized-configuration cache**, keyed by
+//!   *(region architecture, graph structure)* with coefficient values
+//!   excluded, LRU-evicted. Hits skip `map_app` entirely; misses compile
+//!   and populate.
+//! * [`pricer`] — micro-reconfiguration pricing via the real DCS path:
+//!   a lazily-built parameterized PE (`mapping` + [`dcs::Scg`]) evaluates
+//!   PPC Boolean functions and diffs dirty datapath frames, while
+//!   [`fabric::frames::FrameModel::for_grid`] addresses the overlay's
+//!   settings-register plane (column stripes share frames). Costs are
+//!   anchored on the paper's 251 ms-per-PE HWICAP estimate.
+//! * [`pool`] — the **grid-pool scheduler**: tenants lease full-width row
+//!   bands (first-fit packing of small graphs onto shared grids); when
+//!   every row is taken, admission time-multiplexes the least-crowded
+//!   band, and each context switch is charged a full-region reconfig.
+//! * [`engine`] — **batched streaming execution**: bands run on parallel
+//!   worker threads, shared bands serialize their slots, every input
+//!   vector streams through `vcgra::sim::run_mapped` in bit-exact FloPoCo
+//!   arithmetic.
+//! * [`kernels`] — the workload library (FIR, separable 2-D stencil,
+//!   tiled matrix–vector, tree reduction, vessel-segmentation stages).
+//! * [`runtime`] — the orchestrator tying it together, plus the
+//!   [`Ledger`] that accumulates measured host time against modeled
+//!   configuration-port time.
+//!
+//! Fast path vs. recompile, in one table:
+//!
+//! | change                              | path                           |
+//! |-------------------------------------|--------------------------------|
+//! | new coefficients, same structure    | cache hit → dirty-frame swap   |
+//! | new iteration counter               | settings-plane frame(s) only   |
+//! | same structure, new tenant          | cache hit → settings specialize|
+//! | new structure / region shape        | full `map_app` compile, cached |
+//!
+//! The `xbench` binary `serve` drives a mixed-tenant soak over this crate
+//! and prints the throughput/ledger tables; the integration tests pin the
+//! runtime's outputs bit-for-bit to `vcgra::sim::run_dataflow`.
+
+pub mod cache;
+pub mod engine;
+pub mod kernels;
+pub mod pool;
+pub mod pricer;
+pub mod runtime;
+
+pub use cache::{CacheStats, ConfigCache, ConfigKey};
+pub use engine::TenantRun;
+pub use kernels::Workload;
+pub use pool::{GridPool, Lease, PoolError, TenantId};
+pub use pricer::{PeChange, SettingsPricer, SwapReport};
+pub use runtime::{
+    Admission, Ledger, Refresh, Runtime, RuntimeConfig, RuntimeError, StreamRequest, Tenant,
+    TenantStats,
+};

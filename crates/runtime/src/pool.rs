@@ -1,0 +1,327 @@
+//! The grid pool: placement of concurrent tenants onto overlay instances.
+//!
+//! The pool owns a set of [`VcgraArch`] grids. A tenant asks for enough
+//! PEs for its graph; the scheduler carves a **band** — a horizontal
+//! stripe of consecutive rows spanning the grid's full width — out of the
+//! first grid with room (first-fit packing, so several small applications
+//! share one grid). When every row of every grid is taken, admission
+//! falls back to **time-multiplexing**: the new tenant shares the
+//! smallest already-allocated band that is big enough, and the execution
+//! engine serializes the band's tenants, charging a full-region
+//! micro-reconfiguration per context switch.
+//!
+//! Bands span full grid width because the VCGRA routing channels run
+//! between adjacent PEs: a full-width stripe guarantees a tenant's routes
+//! can never cross another tenant's region.
+
+use vcgra::VcgraArch;
+
+/// Identifier the runtime hands out per admitted application.
+pub type TenantId = u64;
+
+/// Where a tenant's region lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Index of the grid in the pool.
+    pub grid: usize,
+    /// First physical row of the band.
+    pub row0: usize,
+    /// Rows in the band.
+    pub rows: usize,
+    /// Columns (the grid's full width).
+    pub cols: usize,
+    /// True when the band is shared with other tenants (time-multiplexed).
+    pub shared: bool,
+}
+
+impl Lease {
+    /// The region as a standalone architecture (what the graph compiles
+    /// against — region-local coordinates).
+    pub fn region_arch(&self, channel_capacity: usize) -> VcgraArch {
+        VcgraArch::new(self.rows, self.cols, channel_capacity)
+    }
+
+    /// PEs in the region.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[derive(Debug)]
+struct Band {
+    row0: usize,
+    rows: usize,
+    tenants: Vec<TenantId>,
+}
+
+#[derive(Debug)]
+struct Grid {
+    arch: VcgraArch,
+    bands: Vec<Band>,
+}
+
+impl Grid {
+    /// First row index at which `rows` consecutive free rows start.
+    fn find_free(&self, rows: usize) -> Option<usize> {
+        let mut taken = vec![false; self.arch.rows];
+        for b in &self.bands {
+            taken[b.row0..b.row0 + b.rows].fill(true);
+        }
+        let mut run = 0;
+        for (r, &t) in taken.iter().enumerate() {
+            run = if t { 0 } else { run + 1 };
+            if run == rows {
+                return Some(r + 1 - rows);
+            }
+        }
+        None
+    }
+}
+
+/// Pool allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The graph does not fit any grid of the pool, even an empty one.
+    TooBig {
+        /// PEs the application needs.
+        needed: usize,
+        /// PEs of the largest grid in the pool.
+        largest: usize,
+    },
+    /// The graph would fit an empty grid, but every band big enough is
+    /// already carved up by smaller tenants — admission must wait for a
+    /// release (this runtime does not queue).
+    Oversubscribed {
+        /// PEs the application needs.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::TooBig { needed, largest } => {
+                write!(f, "application needs {needed} PEs, largest grid has {largest}")
+            }
+            PoolError::Oversubscribed { needed } => {
+                write!(f, "no band of {needed} PEs free or shareable; release a tenant first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// The scheduler's state: grids and their allocated bands.
+pub struct GridPool {
+    grids: Vec<Grid>,
+}
+
+impl GridPool {
+    /// Creates a pool over the given grids. All grids must share a channel
+    /// capacity (one overlay generation).
+    pub fn new(grids: Vec<VcgraArch>) -> Self {
+        assert!(!grids.is_empty(), "pool needs at least one grid");
+        let cap = grids[0].channel_capacity;
+        assert!(
+            grids.iter().all(|g| g.channel_capacity == cap),
+            "one channel capacity per pool"
+        );
+        GridPool { grids: grids.into_iter().map(|arch| Grid { arch, bands: Vec::new() }).collect() }
+    }
+
+    /// Channel capacity of the pool's overlay generation.
+    pub fn channel_capacity(&self) -> usize {
+        self.grids[0].arch.channel_capacity
+    }
+
+    /// Grid shapes (for reporting).
+    pub fn grid_archs(&self) -> Vec<VcgraArch> {
+        self.grids.iter().map(|g| g.arch).collect()
+    }
+
+    /// Rows a `demand`-PE application needs on a `cols`-wide grid
+    /// (regions are at least 2×2 so they are valid [`VcgraArch`]s).
+    /// Admission compiles against exactly this region, so band sizing and
+    /// cache keys share one formula.
+    pub fn rows_needed(demand: usize, cols: usize) -> usize {
+        demand.div_ceil(cols).max(2)
+    }
+
+    /// Places a tenant needing `demand` PEs.
+    ///
+    /// Dedicated first-fit band if any grid has room; otherwise the
+    /// least-crowded big-enough existing band, time-multiplexed.
+    pub fn allocate(&mut self, tenant: TenantId, demand: usize) -> Result<Lease, PoolError> {
+        assert!(demand > 0);
+        // Dedicated band, first fit.
+        for (gi, grid) in self.grids.iter_mut().enumerate() {
+            let rows = Self::rows_needed(demand, grid.arch.cols);
+            if rows > grid.arch.rows {
+                continue;
+            }
+            if let Some(row0) = grid.find_free(rows) {
+                grid.bands.push(Band { row0, rows, tenants: vec![tenant] });
+                return Ok(Lease { grid: gi, row0, rows, cols: grid.arch.cols, shared: false });
+            }
+        }
+        // Time-multiplex: least-crowded band with enough PEs.
+        let mut best: Option<(usize, usize)> = None; // (grid, band index)
+        for (gi, grid) in self.grids.iter().enumerate() {
+            let rows = Self::rows_needed(demand, grid.arch.cols);
+            for (bi, band) in grid.bands.iter().enumerate() {
+                if band.rows < rows {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bg, bb)) => {
+                        let cur = &self.grids[bg].bands[bb];
+                        (band.tenants.len(), band.rows) < (cur.tenants.len(), cur.rows)
+                    }
+                };
+                if better {
+                    best = Some((gi, bi));
+                }
+            }
+        }
+        if let Some((gi, bi)) = best {
+            let cols = self.grids[gi].arch.cols;
+            let band = &mut self.grids[gi].bands[bi];
+            band.tenants.push(tenant);
+            return Ok(Lease { grid: gi, row0: band.row0, rows: band.rows, cols, shared: true });
+        }
+        // Nothing free, nothing shareable: distinguish "never fits" from
+        // "fits an empty grid, come back after a release".
+        let fits_somewhere = self
+            .grids
+            .iter()
+            .any(|g| Self::rows_needed(demand, g.arch.cols) <= g.arch.rows);
+        if fits_somewhere {
+            Err(PoolError::Oversubscribed { needed: demand })
+        } else {
+            let largest = self.grids.iter().map(|g| g.arch.pe_count()).max().unwrap_or(0);
+            Err(PoolError::TooBig { needed: demand, largest })
+        }
+    }
+
+    /// Releases a tenant's slot; empty bands are freed. Returns true if
+    /// the tenant held a lease.
+    pub fn release(&mut self, tenant: TenantId) -> bool {
+        for grid in &mut self.grids {
+            for band in &mut grid.bands {
+                if let Some(pos) = band.tenants.iter().position(|&t| t == tenant) {
+                    band.tenants.remove(pos);
+                    grid.bands.retain(|b| !b.tenants.is_empty());
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Tenants sharing the band at (`grid`, `row0`), in admission order.
+    pub fn band_tenants(&self, grid: usize, row0: usize) -> Vec<TenantId> {
+        self.grids[grid]
+            .bands
+            .iter()
+            .find(|b| b.row0 == row0)
+            .map(|b| b.tenants.clone())
+            .unwrap_or_default()
+    }
+
+    /// Fraction of pool rows currently leased.
+    pub fn utilization(&self) -> f64 {
+        let total: usize = self.grids.iter().map(|g| g.arch.rows).sum();
+        let used: usize = self
+            .grids
+            .iter()
+            .flat_map(|g| g.bands.iter().map(|b| b.rows))
+            .sum();
+        used as f64 / total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> GridPool {
+        GridPool::new(vec![VcgraArch::new(6, 4, 2), VcgraArch::new(4, 4, 2)])
+    }
+
+    #[test]
+    fn small_tenants_pack_one_grid() {
+        let mut p = pool();
+        let a = p.allocate(1, 7).unwrap(); // 2 rows of 4
+        let b = p.allocate(2, 8).unwrap(); // 2 rows of 4
+        assert_eq!((a.grid, a.row0, a.rows), (0, 0, 2));
+        assert_eq!((b.grid, b.row0, b.rows), (0, 2, 2));
+        assert!(!a.shared && !b.shared);
+        assert!(p.utilization() > 0.0);
+    }
+
+    #[test]
+    fn overflow_spills_to_second_grid_then_time_multiplexes() {
+        let mut p = pool();
+        for t in 0..5 {
+            let l = p.allocate(t, 8).unwrap();
+            assert!(!l.shared, "tenant {t} should get a dedicated band");
+        }
+        // All 10 rows are taken (3 bands on grid 0, 2 on grid 1): the sixth
+        // tenant shares.
+        let l = p.allocate(5, 8).unwrap();
+        assert!(l.shared);
+        let mates = p.band_tenants(l.grid, l.row0);
+        assert_eq!(mates.len(), 2);
+        assert!(mates.contains(&5));
+    }
+
+    #[test]
+    fn release_frees_bands_for_reuse() {
+        let mut p = pool();
+        let a = p.allocate(1, 24).unwrap(); // whole grid 0
+        assert_eq!(a.rows, 6);
+        // Grid 0 is full and grid 1 is too small, so a second 24-PE tenant
+        // can only time-share tenant 1's band.
+        assert!(p.allocate(2, 24).unwrap().shared);
+        assert!(p.release(2));
+        assert!(p.release(1));
+        let b = p.allocate(3, 24).unwrap();
+        assert_eq!((b.grid, b.row0, b.rows, b.shared), (0, 0, 6, false));
+        assert!(!p.release(99), "unknown tenant");
+    }
+
+    #[test]
+    fn too_big_is_rejected() {
+        let mut p = pool();
+        let err = p.allocate(1, 25).unwrap_err();
+        assert_eq!(err, PoolError::TooBig { needed: 25, largest: 24 });
+    }
+
+    #[test]
+    fn fragmented_pool_reports_oversubscription_not_too_big() {
+        let mut p = pool();
+        // Fill both grids with 2-row bands; a 5-row tenant would fit an
+        // empty grid 0 (6 rows) but no band is big enough to share.
+        for t in 0..5 {
+            p.allocate(t, 8).unwrap();
+        }
+        let err = p.allocate(9, 18).unwrap_err();
+        assert_eq!(err, PoolError::Oversubscribed { needed: 18 });
+        // After releasing grid 0's bands the same tenant gets a lease.
+        for t in 0..3 {
+            p.release(t);
+        }
+        assert!(!p.allocate(9, 18).unwrap().shared);
+    }
+
+    #[test]
+    fn region_arch_is_band_shaped() {
+        let mut p = pool();
+        let l = p.allocate(1, 10).unwrap(); // 3 rows of 4
+        assert_eq!(l.rows, 3);
+        let arch = l.region_arch(p.channel_capacity());
+        assert_eq!((arch.rows, arch.cols), (3, 4));
+    }
+}

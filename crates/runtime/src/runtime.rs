@@ -1,0 +1,603 @@
+//! The runtime orchestrator: admission, specialization, streaming.
+//!
+//! Lifecycle of an application:
+//!
+//! 1. **submit** — the scheduler leases a grid region, the configuration
+//!    cache is consulted with the (region, structure) key: a **miss** runs
+//!    the full `map_app` compile and caches the result; a **hit** clones
+//!    the cached placement and only rewrites the settings with the
+//!    tenant's own parameters (host-side fast path);
+//! 2. **swap_params / set_counter** — parameter-only changes never
+//!    recompile: the pricer evaluates the PE's PPC functions and prices
+//!    exactly the dirty frames (micro-reconfiguration fast path);
+//! 3. **resubmit** — the structural decision point: same structure routes
+//!    to the swap path, a changed structure releases the lease and
+//!    recompiles;
+//! 4. **run** — batched streams execute bands-in-parallel through the
+//!    engine; every item is bit-exact with `run_dataflow`;
+//! 5. **release** — frees the region for the next tenant.
+//!
+//! The [`Ledger`] accumulates both sides of the paper's Section V
+//! argument: measured host compile/execution time, and modeled
+//! configuration-port time anchored on the 251 ms-per-PE estimate.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use dcs::ReconfigInterface;
+use softfloat::{FpFormat, FpValue};
+use vcgra::app::AppGraph;
+use vcgra::flow::{FlowError, VcgraMapping};
+use vcgra::{PeSettings, VcgraArch};
+
+use crate::cache::{CacheStats, CachedConfig, ConfigCache, ConfigKey};
+use crate::engine::{run_bands, BandWork, Job, TenantRun};
+use crate::pool::{GridPool, Lease, PoolError, TenantId};
+use crate::pricer::{PeChange, SettingsPricer, SwapReport};
+
+/// Runtime construction parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// The grid pool (one overlay generation: equal channel capacity).
+    pub grids: Vec<VcgraArch>,
+    /// Configurations kept in the cache.
+    pub cache_capacity: usize,
+    /// Worker threads for streaming execution.
+    pub workers: usize,
+    /// Streaming chunk size.
+    pub batch_size: usize,
+    /// Configuration interface priced by the ledger.
+    pub iface: ReconfigInterface,
+    /// Floating-point format of the pricing PE (reduced by default so the
+    /// lazy pricer build stays sub-second).
+    pub pricer_format: FpFormat,
+    /// Placement seed for cold compiles.
+    pub place_seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            grids: vec![VcgraArch::new(8, 4, 2), VcgraArch::new(8, 4, 2)],
+            cache_capacity: 32,
+            workers: 4,
+            batch_size: 64,
+            iface: ReconfigInterface::Hwicap,
+            pricer_format: FpFormat::new(4, 6),
+            place_seed: 42,
+        }
+    }
+}
+
+/// Everything that can go wrong at the runtime surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The scheduler could not place the application.
+    Pool(PoolError),
+    /// The compile failed (e.g. unroutable on the leased region).
+    Flow(FlowError),
+    /// Unknown tenant id.
+    UnknownTenant(TenantId),
+    /// Parameter vector does not match the graph's coefficient slots.
+    BadParamArity {
+        /// Coefficient-bearing nodes in the graph.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// Stream input arity does not match the graph.
+    BadInputArity {
+        /// External inputs the graph declares.
+        expected: usize,
+        /// Values supplied per vector.
+        got: usize,
+    },
+    /// Node index outside the tenant's graph.
+    NodeOutOfRange {
+        /// Index supplied.
+        node: usize,
+        /// Nodes in the graph.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Pool(e) => write!(f, "placement failed: {e}"),
+            RuntimeError::Flow(e) => write!(f, "compile failed: {e}"),
+            RuntimeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            RuntimeError::BadParamArity { expected, got } => {
+                write!(f, "parameter vector has {got} values, graph has {expected} slots")
+            }
+            RuntimeError::BadInputArity { expected, got } => {
+                write!(f, "input vector has {got} values, graph has {expected} inputs")
+            }
+            RuntimeError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range, graph has {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<PoolError> for RuntimeError {
+    fn from(e: PoolError) -> Self {
+        RuntimeError::Pool(e)
+    }
+}
+
+impl From<FlowError> for RuntimeError {
+    fn from(e: FlowError) -> Self {
+        RuntimeError::Flow(e)
+    }
+}
+
+/// Result of admitting one application.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    /// Assigned tenant id.
+    pub tenant: TenantId,
+    /// Leased region.
+    pub lease: Lease,
+    /// True when the configuration cache already held the structure.
+    pub cache_hit: bool,
+    /// Measured host time of the whole admission (compile or specialize).
+    pub admit_time: Duration,
+    /// Measured host time of `map_app` (zero on a cache hit).
+    pub compile_time: Duration,
+    /// Modeled port time to configure the tenant's PEs from scratch.
+    pub config_port_time: Duration,
+}
+
+/// What `resubmit` decided to do.
+#[derive(Debug, Clone)]
+pub enum Refresh {
+    /// Structure unchanged: served by the micro-reconfiguration fast path.
+    Swapped(SwapReport),
+    /// Structure changed: full recompile (possibly relocated).
+    Recompiled(Admission),
+}
+
+/// Per-tenant accumulated accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantStats {
+    /// Input vectors processed.
+    pub items: usize,
+    /// Streaming batches processed.
+    pub batches: usize,
+    /// Measured host execution time.
+    pub exec_time: Duration,
+    /// Parameter swaps served from the fast path.
+    pub swaps: usize,
+    /// Frames rewritten by those swaps.
+    pub swap_frames: usize,
+    /// Modeled port time of those swaps.
+    pub swap_port_time: Duration,
+    /// Context switches charged while time-multiplexed.
+    pub context_switches: usize,
+    /// Modeled port time of those switches.
+    pub switch_port_time: Duration,
+}
+
+/// One admitted application.
+pub struct Tenant {
+    /// Tenant id.
+    pub id: TenantId,
+    /// Display name.
+    pub name: String,
+    /// Current graph (parameters included).
+    pub graph: AppGraph,
+    /// Placed configuration, settings in sync with `graph`.
+    pub mapping: VcgraMapping,
+    /// Leased region.
+    pub lease: Lease,
+    key: ConfigKey,
+    /// Accumulated accounting.
+    pub stats: TenantStats,
+}
+
+impl Tenant {
+    /// The cache key this tenant's configuration lives under — tenants
+    /// with equal keys share one cached compile.
+    pub fn config_key(&self) -> &ConfigKey {
+        &self.key
+    }
+}
+
+/// Pool-wide accounting: measured host cost vs modeled port cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ledger {
+    /// Admissions that compiled.
+    pub cold_compiles: usize,
+    /// Admissions served from the configuration cache.
+    pub warm_admissions: usize,
+    /// Host time in `map_app`.
+    pub host_compile_time: Duration,
+    /// Host time of all admissions (compile + specialize).
+    pub host_admit_time: Duration,
+    /// Modeled port time of initial configurations.
+    pub admission_port_time: Duration,
+    /// Parameter swaps.
+    pub swaps: usize,
+    /// Frames rewritten by swaps.
+    pub swap_frames: usize,
+    /// Modeled port time of swaps.
+    pub swap_port_time: Duration,
+    /// Host time evaluating PPC functions during swaps.
+    pub swap_eval_time: Duration,
+    /// Context switches across all shared bands.
+    pub context_switches: usize,
+    /// Modeled port time of context switches.
+    pub switch_port_time: Duration,
+    /// Input vectors executed.
+    pub items: usize,
+    /// Measured host execution time (summed over parallel bands).
+    pub exec_time: Duration,
+    /// The paper's per-PE full-reconfiguration unit on the priced
+    /// interface (251 ms on HWICAP) — the ledger's anchor constant.
+    pub paper_pe_unit: Duration,
+}
+
+impl Ledger {
+    /// Total modeled configuration-port time (admissions + swaps +
+    /// context switches) — the "reconfiguration cost" side of Section V.
+    pub fn total_port_time(&self) -> Duration {
+        self.admission_port_time + self.swap_port_time + self.switch_port_time
+    }
+}
+
+/// One tenant's streaming request.
+pub struct StreamRequest {
+    /// Target tenant.
+    pub tenant: TenantId,
+    /// Input vectors (each `graph.num_inputs` long).
+    pub inputs: Vec<Vec<FpValue>>,
+}
+
+/// The multi-tenant overlay runtime.
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    pool: GridPool,
+    cache: ConfigCache,
+    pricer: SettingsPricer,
+    tenants: BTreeMap<TenantId, Tenant>,
+    next_id: TenantId,
+    ledger: Ledger,
+    /// Which tenant's configuration is loaded in each band
+    /// (`(grid, row0)` → tenant): a shared band whose resident differs
+    /// from the next run's first job pays a swap-in context switch.
+    resident: BTreeMap<(usize, usize), TenantId>,
+}
+
+impl Runtime {
+    /// Builds a runtime over the configured grid pool.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        let pool = GridPool::new(cfg.grids.clone());
+        let cache = ConfigCache::new(cfg.cache_capacity);
+        let pricer = SettingsPricer::new(cfg.pricer_format, cfg.iface);
+        let ledger = Ledger {
+            paper_pe_unit: dcs::paper_pe_reconfig(cfg.iface),
+            ..Ledger::default()
+        };
+        Runtime {
+            cfg,
+            pool,
+            cache,
+            pricer,
+            tenants: BTreeMap::new(),
+            next_id: 0,
+            ledger,
+            resident: BTreeMap::new(),
+        }
+    }
+
+    /// Admits an application: lease a region, then compile or specialize.
+    pub fn submit(
+        &mut self,
+        name: impl Into<String>,
+        graph: AppGraph,
+    ) -> Result<Admission, RuntimeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.admit(id, name.into(), graph)
+    }
+
+    fn admit(
+        &mut self,
+        id: TenantId,
+        name: String,
+        graph: AppGraph,
+    ) -> Result<Admission, RuntimeError> {
+        let demand = graph.pe_demand();
+        let lease = self.pool.allocate(id, demand)?;
+        // Compile against the *minimal* region for this demand, not the
+        // leased band (a time-shared band can be taller than needed): the
+        // cache key must depend only on (grid width, structure), so a
+        // tenant re-admitted onto a roomier band still hits.
+        let region = VcgraArch::new(
+            GridPool::rows_needed(demand, lease.cols),
+            lease.cols,
+            self.pool.channel_capacity(),
+        );
+        let key = ConfigKey::new(region, &graph);
+
+        let t0 = std::time::Instant::now();
+        let (mapping, cache_hit, compile_time) = match self.cache.get(&key) {
+            Some(cached) => {
+                let mut mapping = cached.mapping.clone();
+                Self::write_settings(&mut mapping, &graph);
+                (mapping, true, Duration::ZERO)
+            }
+            None => {
+                let mapping = match vcgra::flow::map_app(&graph, region, self.cfg.place_seed) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        self.pool.release(id);
+                        return Err(e.into());
+                    }
+                };
+                let compile_time = mapping.compile_time;
+                let cached = self.cache.insert(
+                    key.clone(),
+                    CachedConfig { mapping, compile_time },
+                );
+                (cached.mapping.clone(), false, compile_time)
+            }
+        };
+        let admit_time = t0.elapsed();
+
+        let config_port_time = self.pricer.full_config_cost(demand);
+        if cache_hit {
+            self.ledger.warm_admissions += 1;
+        } else {
+            self.ledger.cold_compiles += 1;
+            self.ledger.host_compile_time += compile_time;
+        }
+        self.ledger.host_admit_time += admit_time;
+        self.ledger.admission_port_time += config_port_time;
+
+        // Admission writes the tenant's configuration into the region, so
+        // it becomes the band's resident.
+        self.resident.insert((lease.grid, lease.row0), id);
+        self.tenants.insert(
+            id,
+            Tenant { id, name, graph, mapping, lease, key, stats: TenantStats::default() },
+        );
+        Ok(Admission { tenant: id, lease, cache_hit, admit_time, compile_time, config_port_time })
+    }
+
+    /// Writes a graph's parameters into a mapping's settings (the
+    /// host-side half of a specialization).
+    fn write_settings(mapping: &mut VcgraMapping, graph: &AppGraph) {
+        let zero = FpValue::zero(graph.format);
+        let cols = mapping.arch.cols;
+        for (i, node) in graph.nodes.iter().enumerate() {
+            let (r, c) = mapping.place[i];
+            let slot = mapping.pe_settings[r * cols + c]
+                .as_mut()
+                .expect("placed node has settings");
+            slot.coeff = node.coeff.unwrap_or(zero);
+        }
+    }
+
+    /// Parameter-only change: new coefficients for the tenant's
+    /// coefficient-bearing nodes, served by the micro-reconfiguration
+    /// fast path (no recompile, dirty frames only).
+    pub fn swap_params(
+        &mut self,
+        tenant: TenantId,
+        coeffs: &[FpValue],
+    ) -> Result<SwapReport, RuntimeError> {
+        let t = self.tenants.get(&tenant).ok_or(RuntimeError::UnknownTenant(tenant))?;
+        let slots = t.graph.coeff_nodes();
+        if slots.len() != coeffs.len() {
+            return Err(RuntimeError::BadParamArity { expected: slots.len(), got: coeffs.len() });
+        }
+        let new_graph = t.graph.with_coeffs(coeffs);
+        let changes: Vec<PeChange> = slots
+            .iter()
+            .zip(coeffs)
+            .map(|(&node, &c)| {
+                let (r, col) = t.mapping.place[node];
+                let old = t.mapping.pe_settings[r * t.mapping.arch.cols + col]
+                    .expect("placed node has settings");
+                let new = PeSettings { coeff: c, ..old };
+                PeChange { cell: (t.lease.row0 + r, col), old, new }
+            })
+            .collect();
+        self.apply_changes(tenant, new_graph, changes)
+    }
+
+    /// Parameter-only change of one node's iteration counter (the other
+    /// settings-register content the paper's applications retune).
+    pub fn set_counter(
+        &mut self,
+        tenant: TenantId,
+        node: usize,
+        counter: u32,
+    ) -> Result<SwapReport, RuntimeError> {
+        let t = self.tenants.get(&tenant).ok_or(RuntimeError::UnknownTenant(tenant))?;
+        if node >= t.graph.nodes.len() {
+            return Err(RuntimeError::NodeOutOfRange { node, nodes: t.graph.nodes.len() });
+        }
+        let (r, col) = t.mapping.place[node];
+        let old = t.mapping.pe_settings[r * t.mapping.arch.cols + col]
+            .expect("placed node has settings");
+        let new = PeSettings { counter, ..old };
+        let change = PeChange { cell: (t.lease.row0 + r, col), old, new };
+        let graph = t.graph.clone();
+        self.apply_changes(tenant, graph, vec![change])
+    }
+
+    fn apply_changes(
+        &mut self,
+        tenant: TenantId,
+        new_graph: AppGraph,
+        changes: Vec<PeChange>,
+    ) -> Result<SwapReport, RuntimeError> {
+        let grid_arch = self.pool.grid_archs()[self.tenants[&tenant].lease.grid];
+        let report = self.pricer.price_swap((grid_arch.rows, grid_arch.cols), &changes);
+        let t = self.tenants.get_mut(&tenant).unwrap();
+        let cols = t.mapping.arch.cols;
+        for ch in &changes {
+            let (r, c) = (ch.cell.0 - t.lease.row0, ch.cell.1);
+            t.mapping.pe_settings[r * cols + c] = Some(ch.new);
+        }
+        t.graph = new_graph;
+        t.stats.swaps += 1;
+        t.stats.swap_frames += report.frames();
+        t.stats.swap_port_time += report.port_time;
+        self.ledger.swaps += 1;
+        self.ledger.swap_frames += report.frames();
+        self.ledger.swap_port_time += report.port_time;
+        self.ledger.swap_eval_time += report.eval_time;
+        Ok(report)
+    }
+
+    /// The structural decision point: a graph with the same structure as
+    /// the tenant's current one takes the swap fast path; anything else
+    /// releases the lease and recompiles (the tenant id survives).
+    ///
+    /// If the recompile itself fails (new graph too big / unroutable) the
+    /// tenant is evicted — the old lease was already surrendered.
+    pub fn resubmit(
+        &mut self,
+        tenant: TenantId,
+        graph: AppGraph,
+    ) -> Result<Refresh, RuntimeError> {
+        let t = self.tenants.get(&tenant).ok_or(RuntimeError::UnknownTenant(tenant))?;
+        if t.graph.same_structure(&graph) {
+            let coeffs = graph.coeff_values();
+            return Ok(Refresh::Swapped(self.swap_params(tenant, &coeffs)?));
+        }
+        // Structural change: recompile under the same id.
+        let name = t.name.clone();
+        let stats = t.stats;
+        self.pool.release(tenant);
+        self.tenants.remove(&tenant);
+        let admission = self.admit(tenant, name, graph)?;
+        self.tenants.get_mut(&tenant).unwrap().stats = stats;
+        Ok(Refresh::Recompiled(admission))
+    }
+
+    /// Streams batched inputs through every requested tenant: bands run
+    /// in parallel, shared bands serialize with context-switch charges.
+    pub fn run(&mut self, requests: Vec<StreamRequest>) -> Result<Vec<TenantRun>, RuntimeError> {
+        // Validate before borrowing for the engine.
+        for req in &requests {
+            let t = self
+                .tenants
+                .get(&req.tenant)
+                .ok_or(RuntimeError::UnknownTenant(req.tenant))?;
+            for v in &req.inputs {
+                if v.len() != t.graph.num_inputs {
+                    return Err(RuntimeError::BadInputArity {
+                        expected: t.graph.num_inputs,
+                        got: v.len(),
+                    });
+                }
+            }
+        }
+
+        // Group requests by band, jobs ordered by the band's slot order.
+        let mut by_band: BTreeMap<(usize, usize), Vec<StreamRequest>> = BTreeMap::new();
+        for req in requests {
+            let lease = self.tenants[&req.tenant].lease;
+            by_band.entry((lease.grid, lease.row0)).or_default().push(req);
+        }
+        let mut next_resident: Vec<((usize, usize), TenantId)> = Vec::with_capacity(by_band.len());
+        let runs = {
+            let tenants = &self.tenants;
+            let mut bands: Vec<BandWork<'_>> = Vec::with_capacity(by_band.len());
+            for ((grid, row0), mut reqs) in by_band {
+                let slots = self.pool.band_tenants(grid, row0);
+                reqs.sort_by_key(|r| slots.iter().position(|&t| t == r.tenant));
+                let shared = slots.len() > 1;
+                let region_pes = tenants[&reqs[0].tenant].lease.pe_count();
+                // The band runs its jobs in order: the first job pays a
+                // swap-in when another tenant's configuration is resident,
+                // and the last job's configuration stays resident.
+                let swap_in_first = self
+                    .resident
+                    .get(&(grid, row0))
+                    .is_some_and(|&r| r != reqs[0].tenant);
+                next_resident.push(((grid, row0), reqs.last().unwrap().tenant));
+                bands.push(BandWork {
+                    shared,
+                    swap_in_first,
+                    switch_cost: self.pricer.full_config_cost(region_pes),
+                    jobs: reqs
+                        .into_iter()
+                        .map(|req| {
+                            let t = &tenants[&req.tenant];
+                            Job {
+                                tenant: req.tenant,
+                                graph: &t.graph,
+                                mapping: &t.mapping,
+                                inputs: req.inputs,
+                            }
+                        })
+                        .collect(),
+                });
+            }
+            run_bands(bands, self.cfg.workers, self.cfg.batch_size)
+        };
+        self.resident.extend(next_resident);
+
+        for run in &runs {
+            let stats = &mut self.tenants.get_mut(&run.tenant).unwrap().stats;
+            stats.items += run.items;
+            stats.batches += run.batches;
+            stats.exec_time += run.exec_time;
+            stats.context_switches += run.context_switches;
+            stats.switch_port_time += run.switch_port_time;
+            self.ledger.items += run.items;
+            self.ledger.exec_time += run.exec_time;
+            self.ledger.context_switches += run.context_switches;
+            self.ledger.switch_port_time += run.switch_port_time;
+        }
+        Ok(runs)
+    }
+
+    /// Releases a tenant's region.
+    pub fn release(&mut self, tenant: TenantId) -> Result<(), RuntimeError> {
+        self.tenants
+            .remove(&tenant)
+            .ok_or(RuntimeError::UnknownTenant(tenant))?;
+        self.pool.release(tenant);
+        self.resident.retain(|_, &mut r| r != tenant);
+        Ok(())
+    }
+
+    /// Read access to one tenant.
+    pub fn tenant(&self, id: TenantId) -> Option<&Tenant> {
+        self.tenants.get(&id)
+    }
+
+    /// All live tenants in id order.
+    pub fn tenants(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.values()
+    }
+
+    /// Configuration-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The pool-wide ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Fraction of pool rows currently leased.
+    pub fn utilization(&self) -> f64 {
+        self.pool.utilization()
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+}

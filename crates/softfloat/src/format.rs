@@ -358,6 +358,13 @@ impl FpValue {
         let a = big.sig() << 3;
         let b_full = small.sig() << 3;
         let dc = d.min(width);
+        // The shifts below are u64-safe only because `dc <= wf + 4 <= 56`:
+        // `FpFormat::new` caps `wf` at 52, and `dc` is clamped to `width`
+        // just above. Keep the invariant explicit at the shift sites.
+        debug_assert!(
+            dc <= width && width <= 56,
+            "alignment shift out of range: dc={dc}, wf+4={width}"
+        );
         let mut b = b_full >> dc;
         let sticky = b_full & ((1u64 << dc) - 1) != 0 && dc > 0;
         if sticky {

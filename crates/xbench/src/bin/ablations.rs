@@ -7,22 +7,25 @@
 //! 3. **Floating-point precision**: the overlay overhead relative to the
 //!    datapath as the mantissa grows.
 //!
-//! Usage: `cargo run -p xbench --release --bin ablations`
+//! Usage: `cargo run -p xbench --release --bin ablations [--smoke]`
+//! (`--smoke` trims each sweep to its cheapest points)
 
 use mapping::{map_conventional, map_parameterized, MapOptions};
 use softfloat::FpFormat;
 use vcgra::{VirtualPe, VirtualPeConfig};
 
 fn main() {
+    let smoke = xbench::smoke_mode();
     // Reduced format keeps each point fast; trends carry to (6,26).
-    let fmt = FpFormat::new(5, 10);
+    let fmt = if smoke { FpFormat::new(4, 6) } else { FpFormat::new(5, 10) };
+    let max_hops = if smoke { 2 } else { 3 };
 
-    println!("=== Ablation 1: virtual intra-connect hops (format (5,10)) ===");
+    println!("=== Ablation 1: virtual intra-connect hops (format ({},{})) ===", fmt.we, fmt.wf);
     println!(
         "{:<6} {:>10} {:>12} {:>8} {:>8} {:>10}",
         "hops", "conv LUTs", "param LUTs", "TLUTs", "TCONs", "LUT red."
     );
-    for hops in 1..=3 {
+    for hops in 1..=max_hops {
         let cfg = VirtualPeConfig { format: fmt, hops };
         let conv_aig = logic::opt::sweep(&VirtualPe::build(cfg, false).aig);
         let par_aig = logic::opt::sweep(&VirtualPe::build(cfg, true).aig);
@@ -46,7 +49,8 @@ fn main() {
         "{:<6} {:>10} {:>8} {:>8} {:>8} {:>12}",
         "cuts", "LUTs", "TLUTs", "TCONs", "depth", "map time"
     );
-    for cuts in [2usize, 4, 6, 8, 12] {
+    let cut_points: &[usize] = if smoke { &[2, 4, 8] } else { &[2, 4, 6, 8, 12] };
+    for &cuts in cut_points {
         let opts = MapOptions { cuts_per_node: cuts, ..Default::default() };
         let t = std::time::Instant::now();
         let s = map_parameterized(&par_aig, opts).stats();
@@ -66,7 +70,9 @@ fn main() {
         "{:<10} {:>10} {:>12} {:>10} {:>10}",
         "format", "conv LUTs", "param LUTs", "LUT red.", "depth c/p"
     );
-    for (we, wf) in [(4u32, 6u32), (5, 10), (5, 14), (6, 18)] {
+    let formats: &[(u32, u32)] =
+        if smoke { &[(4, 6), (5, 8)] } else { &[(4, 6), (5, 10), (5, 14), (6, 18)] };
+    for &(we, wf) in formats {
         let f = FpFormat::new(we, wf);
         let cfg = VirtualPeConfig { format: f, hops: 2 };
         let conv_aig = logic::opt::sweep(&VirtualPe::build(cfg, false).aig);

@@ -10,7 +10,9 @@
 //!   technology mapping → placement (routing excluded — it would only
 //!   widen the gap).
 //!
-//! Usage: `cargo run -p xbench --release --bin compile_time`
+//! Usage: `cargo run -p xbench --release --bin compile_time [--smoke]`
+//! (`--smoke` runs the gate-level flow on a reduced (5,10) PE — the gap
+//! shrinks with the netlist but stays orders of magnitude)
 
 use softfloat::FpFormat;
 use vcgra::app::AppGraph;
@@ -19,6 +21,8 @@ use vcgra::VcgraArch;
 use xbench::{print_header, print_row};
 
 fn main() {
+    let smoke = xbench::smoke_mode();
+    let gate_fmt = if smoke { FpFormat::new(5, 10) } else { FpFormat::PAPER };
     let coeffs = [0.0625, 0.25, 0.375, 0.25, 0.0625]; // 5-tap binomial
     let arch = VcgraArch::paper_4x4();
 
@@ -36,7 +40,7 @@ fn main() {
 
     // --- standard FPGA flow on the same function (gate level) ---
     let t1 = std::time::Instant::now();
-    let aig = xbench::build_pe_aig(false); // one PE's worth of gates
+    let aig = xbench::build_pe_aig_with(gate_fmt, false); // one PE's worth of gates
     let t_synth = t1.elapsed();
     let t2 = std::time::Instant::now();
     let design = xbench::map_pe(&aig, false);

@@ -9,7 +9,9 @@
 //!   pipeline on a synthetic fundus image, plus an ASCII grid of a mapped
 //!   kernel (Fig. 1's usage view).
 //!
-//! Usage: `cargo run -p xbench --release --bin figures [out_dir]`
+//! Usage: `cargo run -p xbench --release --bin figures [out_dir] [--smoke]`
+//! (`--smoke` renders the pipeline on a smaller synthetic fundus so CI
+//! can run the binary end-to-end in seconds)
 
 use retina::pipeline::{run_pipeline, Metrics, PipelineConfig};
 use retina::synth::{synth_fundus, SynthConfig};
@@ -19,7 +21,12 @@ use vcgra::render;
 use vcgra::VcgraArch;
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "out".to_string());
+    let smoke = xbench::smoke_mode();
+    // First positional argument (flags excluded, any order) is out_dir.
+    let out_dir = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "out".to_string());
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let path = |name: &str| format!("{out_dir}/{name}");
 
@@ -40,7 +47,8 @@ fn main() {
     println!("wrote {}\n{ascii}", path("fig1_mapped.txt"));
 
     // Fig. 5: pipeline stages on a synthetic fundus image.
-    let (img, truth) = synth_fundus(&SynthConfig { size: 128, ..Default::default() }, 2026);
+    let size = if smoke { 64 } else { 128 };
+    let (img, truth) = synth_fundus(&SynthConfig { size, ..Default::default() }, 2026);
     let res = run_pipeline(&img, &PipelineConfig::default());
     let stages: [(&str, &retina::Image); 6] = [
         ("fig5_0_green.pgm", &img.g),

@@ -7,15 +7,23 @@
 //! Boolean-function evaluation time, reports PPC memory, and prices the
 //! same change on faster interfaces ([6], [16]).
 //!
-//! Usage: `cargo run -p xbench --release --bin reconfig`
+//! Usage: `cargo run -p xbench --release --bin reconfig [--smoke]`
+//! (`--smoke` maps the PE in a reduced (5,10) format: same pipeline, a
+//! fraction of the mapping time, trends intact)
 
 use dcs::{pe_reconfig_estimate, ParamConfig, ReconfigInterface, Scg};
 use logic::SplitMix64;
-use xbench::{build_pe_aig, map_pe, print_header, print_row};
+use softfloat::FpFormat;
+use xbench::{build_pe_aig_with, map_pe, print_header, print_row};
 
 fn main() {
-    println!("Building and mapping the parameterized PE ...");
-    let aig = build_pe_aig(true);
+    let smoke = xbench::smoke_mode();
+    let fmt = if smoke { FpFormat::new(5, 10) } else { FpFormat::PAPER };
+    println!(
+        "Building and mapping the parameterized PE (format ({}, {})) ...",
+        fmt.we, fmt.wf
+    );
+    let aig = build_pe_aig_with(fmt, true);
     let design = map_pe(&aig, true);
     let stats = design.stats();
     println!(
@@ -24,14 +32,7 @@ fn main() {
     );
 
     // --- the paper's own population, through our timing model ---
-    let paper_stats = mapping::MapStats {
-        luts: 1802,
-        tluts: 526,
-        tcons: 568,
-        tunable_constants: 0,
-        depth: 33,
-        lut_pins: 0,
-    };
+    let paper_stats = dcs::paper_pe_stats();
 
     print_header("Section V — reconfiguration overhead per PE");
     let t_paper = pe_reconfig_estimate(&paper_stats, ReconfigInterface::Hwicap);

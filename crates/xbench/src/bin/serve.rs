@@ -1,0 +1,246 @@
+//! Mixed-tenant soak over the **`vcgra-runtime`** overlay runtime.
+//!
+//! The scenario exercises the whole serving story the paper's overlay
+//! argument implies:
+//!
+//! 1. a **cold wave** admits every kernel in the library (cache misses,
+//!    full `map_app` compiles);
+//! 2. a **warm wave** admits structurally identical kernels with new
+//!    coefficients (cache hits — admission cost collapses to a settings
+//!    specialize, oversubscribing the pool so some tenants time-share);
+//! 3. **parameter swaps** retune live tenants through the
+//!    micro-reconfiguration fast path (dirty frames only);
+//! 4. **concurrent streams** batch inputs through every tenant on
+//!    parallel band workers, with bit-exactness checked against
+//!    `vcgra::sim::run_dataflow`.
+//!
+//! The run fails (non-zero exit) if the warm admission path is not at
+//! least 10× faster than the cold compile of the same structures, or if
+//! any tenant's outputs deviate from `run_dataflow` by a single bit.
+//!
+//! Usage: `cargo run -p xbench --release --bin serve [--smoke]`
+
+use runtime::kernels;
+use runtime::{Runtime, RuntimeConfig, StreamRequest};
+use softfloat::{FpFormat, FpValue};
+use std::time::Duration;
+use vcgra::sim::run_dataflow;
+use vcgra::VcgraArch;
+
+const F: FpFormat = FpFormat::PAPER;
+
+fn fp(x: f64) -> FpValue {
+    FpValue::from_f64(x, F)
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3} ms", d.as_secs_f64() * 1e3)
+}
+
+fn us(d: Duration) -> String {
+    format!("{:.1} us", d.as_secs_f64() * 1e6)
+}
+
+fn stream(n: usize, items: usize, salt: u64) -> Vec<Vec<FpValue>> {
+    let mut rng = logic::SplitMix64::new(0x5EED ^ salt);
+    (0..items)
+        .map(|_| (0..n).map(|_| fp((rng.unit_f64() - 0.5) * 8.0)).collect())
+        .collect()
+}
+
+fn main() {
+    let smoke = xbench::smoke_mode();
+    let items_per_tenant = if smoke { 200 } else { 2000 };
+    let mut lib = kernels::library(F);
+    if !smoke {
+        // The big matched-filter stage goes first: large tenants admit
+        // before the pool fragments into small bands.
+        lib.insert(0, kernels::retina_soak_stage(F));
+    }
+
+    // Pool: uniform 4-wide grids (one overlay generation — a uniform
+    // width keeps region shapes, and therefore cache keys, stable across
+    // re-placements), one of them tall enough for the big retina stage.
+    // Sized so the warm wave oversubscribes and time-shares.
+    let cfg = RuntimeConfig {
+        grids: vec![
+            VcgraArch::new(8, 4, 2),
+            VcgraArch::new(8, 4, 2),
+            VcgraArch::new(8, 4, 2),
+            VcgraArch::new(16, 4, 2),
+        ],
+        ..RuntimeConfig::default()
+    };
+    println!("=== vcgra-runtime serve: mixed-tenant soak ({} kernels) ===", lib.len());
+    println!(
+        "pool: {:?} grids, cache {} entries, {} workers, batch {}",
+        cfg.grids.iter().map(|g| (g.rows, g.cols)).collect::<Vec<_>>(),
+        cfg.cache_capacity,
+        cfg.workers,
+        cfg.batch_size,
+    );
+    let mut rt = Runtime::new(cfg);
+
+    // --- phase 1: cold wave ---
+    println!("\n-- cold admissions (cache misses, full compiles) --");
+    println!(
+        "  {:<22} {:>4} {:>9} {:>12} {:>12} {:>6}",
+        "kernel", "PEs", "region", "compile", "admit", "cache"
+    );
+    let mut cold_ids = Vec::new();
+    let mut cold_admits: Vec<Duration> = Vec::new();
+    for w in &lib {
+        let adm = rt.submit(&w.name, w.graph.clone()).expect("cold admission");
+        println!(
+            "  {:<22} {:>4} {:>6}x{:<2} {:>12} {:>12} {:>6}",
+            w.name,
+            w.graph.pe_demand(),
+            adm.lease.rows,
+            adm.lease.cols,
+            ms(adm.compile_time),
+            us(adm.admit_time),
+            if adm.cache_hit { "hit" } else { "miss" },
+        );
+        // Structurally identical kernels (e.g. two 3x3 tap sets) may hit
+        // within the first wave already — only misses enter the cold
+        // baseline.
+        if !adm.cache_hit {
+            cold_admits.push(adm.admit_time);
+        }
+        cold_ids.push(adm.tenant);
+    }
+    assert!(cold_admits.len() >= 4, "library must hold >= 4 distinct structures");
+
+    // --- phase 2: warm wave (same structures, new coefficients) ---
+    println!("\n-- warm admissions (cache hits, parameters only) --");
+    let mut rng = logic::SplitMix64::new(2026);
+    let mut warm_ids = Vec::new();
+    let mut warm_admits: Vec<Duration> = Vec::new();
+    let mut warm_graphs = Vec::new();
+    for w in &lib {
+        let slots = w.graph.coeff_nodes();
+        let coeffs: Vec<FpValue> =
+            (0..slots.len()).map(|_| fp((rng.unit_f64() - 0.5) * 4.0)).collect();
+        let graph = w.graph.with_coeffs(&coeffs);
+        let adm = rt.submit(format!("{}-warm", w.name), graph.clone()).expect("warm admission");
+        println!(
+            "  {:<22} admit {:>12}  cache {}  {}",
+            format!("{}-warm", w.name),
+            us(adm.admit_time),
+            if adm.cache_hit { "hit " } else { "MISS" },
+            if adm.lease.shared { "time-shared" } else { "dedicated" },
+        );
+        assert!(adm.cache_hit, "second wave must hit the configuration cache");
+        warm_admits.push(adm.admit_time);
+        warm_ids.push(adm.tenant);
+        warm_graphs.push(graph);
+    }
+    let cold_avg = cold_admits.iter().sum::<Duration>() / cold_admits.len() as u32;
+    let warm_avg = warm_admits.iter().sum::<Duration>() / warm_admits.len() as u32;
+    let speedup = cold_avg.as_secs_f64() / warm_avg.as_secs_f64().max(1e-12);
+    println!(
+        "\n  warm-path speedup: cold admission {} vs warm {} -> {speedup:.0}x (require >= 10x)",
+        us(cold_avg),
+        us(warm_avg),
+    );
+    assert!(speedup >= 10.0, "warm admission must be >= 10x faster, got {speedup:.1}x");
+
+    // --- phase 3: parameter swaps on live tenants ---
+    println!("\n-- parameter swaps (micro-reconfiguration fast path) --");
+    println!(
+        "  {:<22} {:>6} {:>8} {:>8} {:>12} {:>12}",
+        "kernel", "dirty", "PPC fr", "set fr", "port", "SCG eval"
+    );
+    let mut swapped_graphs = Vec::new();
+    for (&t, w) in cold_ids.iter().zip(&lib) {
+        let slots = rt.tenant(t).unwrap().graph.coeff_nodes();
+        let coeffs: Vec<FpValue> =
+            (0..slots.len()).map(|_| fp((rng.unit_f64() - 0.5) * 2.0)).collect();
+        let rep = rt.swap_params(t, &coeffs).expect("swap");
+        println!(
+            "  {:<22} {:>6} {:>8} {:>8} {:>12} {:>12}",
+            w.name,
+            rep.dirty_pes,
+            rep.ppc_frames,
+            rep.settings_frames,
+            ms(rep.port_time),
+            us(rep.eval_time),
+        );
+        swapped_graphs.push(rt.tenant(t).unwrap().graph.clone());
+    }
+
+    // --- phase 4: concurrent batched streams ---
+    println!("\n-- streaming ({items_per_tenant} items/tenant, all tenants concurrent) --");
+    let all_ids: Vec<_> = cold_ids.iter().chain(&warm_ids).copied().collect();
+    let all_graphs: Vec<_> = swapped_graphs.iter().chain(&warm_graphs).cloned().collect();
+    let requests: Vec<StreamRequest> = all_ids
+        .iter()
+        .zip(&all_graphs)
+        .map(|(&t, g)| StreamRequest { tenant: t, inputs: stream(g.num_inputs, items_per_tenant, t) })
+        .collect();
+    let inputs: Vec<Vec<Vec<FpValue>>> = requests.iter().map(|r| r.inputs.clone()).collect();
+    let t0 = std::time::Instant::now();
+    let runs = rt.run(requests).expect("streaming");
+    let wall = t0.elapsed();
+
+    println!(
+        "  {:<22} {:>7} {:>10} {:>12} {:>7} {:>10}",
+        "tenant", "items", "host", "items/s", "cxsw", "bit-exact"
+    );
+    let mut total_items = 0usize;
+    for run in &runs {
+        let idx = all_ids.iter().position(|&t| t == run.tenant).unwrap();
+        let graph = &all_graphs[idx];
+        let name = &rt.tenant(run.tenant).unwrap().name;
+        // Bit-exactness against the pure dataflow simulator.
+        let check = inputs[idx].len().min(64);
+        for (input, out) in inputs[idx][..check].iter().zip(&run.outputs) {
+            let want = run_dataflow(graph, input);
+            assert_eq!(
+                out.iter().map(|v| v.bits).collect::<Vec<_>>(),
+                want.iter().map(|v| v.bits).collect::<Vec<_>>(),
+                "{name}: runtime output deviates from run_dataflow"
+            );
+        }
+        total_items += run.items;
+        println!(
+            "  {:<22} {:>7} {:>10} {:>12.0} {:>7} {:>10}",
+            name,
+            run.items,
+            ms(run.exec_time),
+            run.throughput(),
+            run.context_switches,
+            "yes",
+        );
+    }
+    println!(
+        "  pool wall clock {} for {total_items} items -> {:.0} items/s aggregate",
+        ms(wall),
+        total_items as f64 / wall.as_secs_f64().max(1e-12),
+    );
+
+    // --- phase 5: the ledger ---
+    let led = rt.ledger();
+    let cache = rt.cache_stats();
+    println!("\n-- ledger (measured host vs modeled configuration port) --");
+    println!("  cold compiles          {:>10}   host compile {}", led.cold_compiles, ms(led.host_compile_time));
+    println!("  warm admissions        {:>10}   host admit   {}", led.warm_admissions, ms(led.host_admit_time));
+    println!("  parameter swaps        {:>10}   dirty frames {}", led.swaps, led.swap_frames);
+    println!("  swap port time         {:>10}   SCG eval     {}", ms(led.swap_port_time), us(led.swap_eval_time));
+    println!("  context switches       {:>10}   switch port  {}", led.context_switches, ms(led.switch_port_time));
+    println!("  admission port time    {:>10}", ms(led.admission_port_time));
+    println!("  total port time        {:>10}   vs exec      {}", ms(led.total_port_time()), ms(led.exec_time));
+    println!(
+        "  paper anchor: {} per PE full reconfig ({} interface)",
+        ms(led.paper_pe_unit),
+        rt.config().iface.name(),
+    );
+    println!(
+        "  cache: {} hits / {} misses / {} evictions; pool utilization {:.0}%",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        rt.utilization() * 100.0,
+    );
+    println!("\nOK: warm path {speedup:.0}x, all outputs bit-exact with run_dataflow.");
+}

@@ -9,17 +9,22 @@
 //! *shape*: ≥30 % LUT reduction, hundreds of TCONs moved to routing, a few
 //! logic levels saved, ~31 % wirelength saved, no channel-width overhead.
 //!
-//! Usage: `cargo run -p xbench --release --bin table1 [--skip-par]`
+//! Usage: `cargo run -p xbench --release --bin table1 [--skip-par] [--smoke]`
+//! (`--smoke` maps a reduced (5,10) PE and skips the PaR columns — the
+//! paper-scale run is the scheduled CI job's business)
 
 use par::cw::ParOptions;
-use xbench::{build_pe_aig, map_pe, print_header, print_row, reduction};
+use softfloat::FpFormat;
+use xbench::{build_pe_aig_with, map_pe, print_header, print_row, reduction};
 
 fn main() {
-    let skip_par = std::env::args().any(|a| a == "--skip-par");
+    let smoke = xbench::smoke_mode();
+    let skip_par = smoke || std::env::args().any(|a| a == "--skip-par");
+    let fmt = if smoke { FpFormat::new(5, 10) } else { FpFormat::PAPER };
 
-    println!("Building the FP-MAC virtual PE (FloPoCo we=6, wf=26) ...");
-    let conv_aig = build_pe_aig(false);
-    let par_aig = build_pe_aig(true);
+    println!("Building the FP-MAC virtual PE (FloPoCo we={}, wf={}) ...", fmt.we, fmt.wf);
+    let conv_aig = build_pe_aig_with(fmt, false);
+    let par_aig = build_pe_aig_with(fmt, true);
 
     let t0 = std::time::Instant::now();
     let conv = map_pe(&conv_aig, false);

@@ -9,13 +9,25 @@
 //! | `reconfig`    | §V reconfiguration-overhead estimate (251 ms per PE)   |
 //! | `compile_time`| §II compile-time claim (VCGRA flow vs gate-level flow) |
 //! | `figures`     | Figs. 1/4 (DOT renders), Fig. 5 (pipeline stage PGMs)  |
+//! | `ablations`   | design-choice sweeps (hops, cut budget, precision)     |
+//! | `serve`       | `vcgra-runtime` mixed-tenant soak + throughput table   |
+//!
+//! `figures`, `reconfig`, `compile_time`, `ablations` and `serve` accept
+//! `--smoke` (reduced formats/grids/volumes) so CI can run all of them
+//! end-to-end in seconds.
 //!
 //! Criterion micro-benchmarks live in `benches/` (SCG throughput, router,
 //! mapper, FloPoCo arithmetic, filter kernels).
 
 use logic::aig::Aig;
 use mapping::{MapOptions, MappedDesign};
+use softfloat::FpFormat;
 use vcgra::{VirtualPe, VirtualPeConfig};
+
+/// True when `--smoke` appears on the command line.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
 
 /// A compact row printer for paper-vs-measured tables.
 pub fn print_row(label: &str, paper: &str, measured: &str) {
@@ -31,7 +43,14 @@ pub fn print_header(title: &str) {
 
 /// Builds the paper's PE netlist (virtual PE, FloPoCo (6,26)) for one flow.
 pub fn build_pe_aig(parameterized: bool) -> Aig {
-    let pe = VirtualPe::build(VirtualPeConfig::default(), parameterized);
+    build_pe_aig_with(FpFormat::PAPER, parameterized)
+}
+
+/// Builds the PE netlist in an arbitrary format — the smoke modes use a
+/// reduced format whose trends match the paper-scale PE at a fraction of
+/// the mapping cost.
+pub fn build_pe_aig_with(format: FpFormat, parameterized: bool) -> Aig {
+    let pe = VirtualPe::build(VirtualPeConfig { format, hops: 2 }, parameterized);
     logic::opt::sweep(&pe.aig)
 }
 

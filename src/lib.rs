@@ -12,5 +12,6 @@ pub use logic;
 pub use mapping;
 pub use par;
 pub use retina;
+pub use runtime;
 pub use softfloat;
 pub use vcgra;

@@ -42,8 +42,14 @@ fn build_random_aig(ops: &[(u8, u8, u8)], n_reg: usize, n_param: usize) -> Aig {
     g
 }
 
+/// The mapping-equivalence sweep dominates this binary's wall clock, so
+/// its full 48-case budget hides behind the `proptest-full` feature
+/// (CI's scheduled job turns it on); the default keeps `cargo test -q`
+/// fast as the suite grows.
+const MAP_CASES: u32 = if cfg!(feature = "proptest-full") { 48 } else { 12 };
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(MAP_CASES))]
 
     #[test]
     fn random_circuits_map_equivalently(
@@ -60,6 +66,10 @@ proptest! {
         // invariant: LUT count is bounded by gate count.
         prop_assert!(par.stats().luts <= aig.num_ands() + 1);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn flopoco_commutativity(a in -1e4f64..1e4, b in -1e4f64..1e4) {
@@ -76,6 +86,42 @@ proptest! {
         let exact = a + b;
         let scale = a.abs().max(b.abs()).max(exact.abs()).max(1e-30);
         prop_assert!((got - exact).abs() <= scale * 4.0 / (1u64 << 26) as f64);
+    }
+
+    #[test]
+    fn flopoco_mul_error_bound(a in -1e3f64..1e3, b in -1e3f64..1e3) {
+        // mul against the f64 reference (ROADMAP: fuzz add/mul/mac vs f64).
+        let f = FpFormat::PAPER;
+        let got = FpValue::from_f64(a, f).mul(FpValue::from_f64(b, f)).to_f64();
+        let exact = a * b;
+        // Inputs round once, the product rounds once: a few ulp suffice.
+        let tol = exact.abs().max(1e-30) * 4.0 / (1u64 << 26) as f64;
+        prop_assert!((got - exact).abs() <= tol, "a={a} b={b} got={got} exact={exact}");
+    }
+
+    #[test]
+    fn flopoco_mac_error_bound(
+        x in -1e2f64..1e2,
+        c in -1e2f64..1e2,
+        acc in -1e3f64..1e3,
+    ) {
+        // mac = mul-then-add with intermediate rounding, against f64.
+        let f = FpFormat::PAPER;
+        let got = FpValue::from_f64(x, f)
+            .mac(FpValue::from_f64(c, f), FpValue::from_f64(acc, f))
+            .to_f64();
+        let exact = x * c + acc;
+        let scale = (x * c).abs().max(acc.abs()).max(exact.abs()).max(1e-30);
+        // Three roundings (two inputs' product, one sum) plus cancellation
+        // headroom via the scale term.
+        prop_assert!(
+            (got - exact).abs() <= scale * 8.0 / (1u64 << 26) as f64,
+            "x={x} c={c} acc={acc} got={got} exact={exact}"
+        );
+        // And mac must be exactly mul-then-add at the bit level.
+        let lhs = FpValue::from_f64(x, f).mac(FpValue::from_f64(c, f), FpValue::from_f64(acc, f));
+        let rhs = FpValue::from_f64(x, f).mul(FpValue::from_f64(c, f)).add(FpValue::from_f64(acc, f));
+        prop_assert_eq!(lhs.bits, rhs.bits);
     }
 
     #[test]
