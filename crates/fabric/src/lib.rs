@@ -17,4 +17,4 @@ pub mod frames;
 pub mod rrg;
 
 pub use arch::{FabricArch, Site};
-pub use rrg::{NodeKind, RouteGraph};
+pub use rrg::{NodeKind, NodeState, RouteGraph};

@@ -54,10 +54,13 @@ pub struct RouteGraph {
     kinds: Vec<NodeKind>,
     offsets: Vec<u32>,
     targets: Vec<u32>,
+    locs: Vec<(f32, f32)>,
     // id range bases
     io_opin_base: usize,
     logic_ipin_base: usize,
     io_ipin_base: usize,
+    chanx_base: usize,
+    chany_base: usize,
 }
 
 impl RouteGraph {
@@ -105,13 +108,36 @@ impl RouteGraph {
         }
     }
 
-    /// Approximate location of a node (for the A* heuristic).
+    /// Approximate location of a node (for the A* heuristic). Precomputed
+    /// at build time — the router calls this on every edge expansion.
+    #[inline]
     pub fn location(&self, id: u32) -> (f64, f64) {
+        let (x, y) = self.locs[id as usize];
+        (x as f64, y as f64)
+    }
+
+    /// Single-precision location, for hot-loop heuristics and bounding-box
+    /// tests.
+    #[inline]
+    pub fn location_f32(&self, id: u32) -> (f32, f32) {
+        self.locs[id as usize]
+    }
+
+    /// Translates a node id from `other` (same architecture, possibly
+    /// different channel width) into this graph. Channel wires on tracks
+    /// that do not exist at this width translate to `None`. Edges are NOT
+    /// guaranteed to survive translation (connection-block and switch-box
+    /// patterns are width-dependent), so callers re-validate connectivity.
+    pub fn translate_from(&self, other: &RouteGraph, id: u32) -> Option<u32> {
+        debug_assert_eq!(self.arch, other.arch);
         let s = self.arch.size;
-        match self.kind(id) {
-            NodeKind::Opin(site) | NodeKind::Ipin(site, _) => site.location(s),
-            NodeKind::ChanX { x, y, .. } => (x as f64 + 1.0, y as f64 + 0.5),
-            NodeKind::ChanY { x, y, .. } => (x as f64 + 0.5, y as f64 + 1.0),
+        match other.kind(id) {
+            NodeKind::Opin(site) => Some(self.opin(site)),
+            NodeKind::Ipin(site, p) => Some(self.ipin(site, p as usize)),
+            NodeKind::ChanX { x, y, t } => (t < self.width)
+                .then(|| (self.chanx_base + (y * s + x) * self.width + t) as u32),
+            NodeKind::ChanY { x, y, t } => (t < self.width)
+                .then(|| (self.chany_base + (x * s + y) * self.width + t) as u32),
         }
     }
 
@@ -313,16 +339,118 @@ impl RouteGraph {
             offsets.push(targets.len() as u32);
         }
 
+        let locs: Vec<(f32, f32)> = kinds
+            .iter()
+            .map(|k| match *k {
+                NodeKind::Opin(site) | NodeKind::Ipin(site, _) => {
+                    let (x, y) = site.location(s);
+                    (x as f32, y as f32)
+                }
+                NodeKind::ChanX { x, y, .. } => (x as f32 + 1.0, y as f32 + 0.5),
+                NodeKind::ChanY { x, y, .. } => (x as f32 + 0.5, y as f32 + 1.0),
+            })
+            .collect();
+
         RouteGraph {
             arch,
             width,
             kinds,
             offsets,
             targets,
+            locs,
             io_opin_base,
             logic_ipin_base,
             io_ipin_base,
+            chanx_base,
+            chany_base,
         }
+    }
+}
+
+/// Mutable routing state over a [`RouteGraph`]: per-node occupancy and
+/// PathFinder history, updated **in place** by the incremental router
+/// instead of being rebuilt per iteration. Pins are capacity-unlimited;
+/// only channel wires count toward occupancy and wirelength.
+pub struct NodeState {
+    occ: Vec<u16>,
+    hist: Vec<f32>,
+    wire: Vec<bool>,
+}
+
+impl NodeState {
+    /// Fresh state (all free, no history) for a graph.
+    pub fn new(graph: &RouteGraph) -> Self {
+        let n = graph.node_count();
+        Self {
+            occ: vec![0; n],
+            hist: vec![0.0; n],
+            wire: (0..n as u32).map(|i| graph.kind(i).is_wire()).collect(),
+        }
+    }
+
+    /// True when the node is a channel wire.
+    #[inline]
+    pub fn is_wire(&self, id: u32) -> bool {
+        self.wire[id as usize]
+    }
+
+    /// Current occupancy of a node (0 for pins).
+    #[inline]
+    pub fn occ(&self, id: u32) -> u16 {
+        self.occ[id as usize]
+    }
+
+    /// Accumulated history cost of a node.
+    #[inline]
+    pub fn hist(&self, id: u32) -> f32 {
+        self.hist[id as usize]
+    }
+
+    /// True when more than one net uses the wire.
+    #[inline]
+    pub fn overused(&self, id: u32) -> bool {
+        self.occ[id as usize] > 1
+    }
+
+    /// Marks a wire as used by one more net (no-op on pins).
+    #[inline]
+    pub fn occupy(&mut self, id: u32) {
+        if self.wire[id as usize] {
+            self.occ[id as usize] += 1;
+        }
+    }
+
+    /// Releases one net's use of a wire (no-op on pins).
+    #[inline]
+    pub fn release(&mut self, id: u32) {
+        if self.wire[id as usize] {
+            self.occ[id as usize] -= 1;
+        }
+    }
+
+    /// PathFinder congestion cost of stepping onto `id` under the present
+    /// congestion factor `pres_fac` (pins cost a small constant).
+    #[inline]
+    pub fn step_cost(&self, id: u32, pres_fac: f64) -> f32 {
+        let i = id as usize;
+        if self.wire[i] {
+            (1.0 + pres_fac * self.occ[i] as f64 + self.hist[i] as f64) as f32
+        } else {
+            0.4
+        }
+    }
+
+    /// End-of-iteration sweep: accrues history on overused wires and
+    /// returns how many wires are overused.
+    pub fn accrue_history(&mut self, acc_fac: f64) -> usize {
+        let mut overused = 0;
+        for i in 0..self.occ.len() {
+            if self.occ[i] > 1 {
+                overused += 1;
+                self.hist[i] += (acc_fac * (self.occ[i] - 1) as f64) as f32;
+            }
+        }
+        overused
     }
 }
 

@@ -1,13 +1,19 @@
 //! Minimum-channel-width search and the end-to-end place & route driver.
 //!
 //! VPR-style methodology: place once (placement does not depend on the
-//! channel width), then binary-search the smallest width the router can
+//! channel width), then search the smallest width the router can
 //! legalize. The paper reports, per flow, the total wirelength and the
 //! minimum channel width (Table I: WL 27242 → 16824, CW 10 → 10).
+//!
+//! These free functions are the stable, options-light API; they delegate
+//! to [`crate::engine::ParEngine`], which owns the incremental router,
+//! the warm-started width search and the parallelism knobs.
 
+use crate::engine::{EngineOptions, ParEngine};
 use crate::netlist::ParNetlist;
-use crate::tplace::{place_multi_seed, Placement};
+use crate::tplace::Placement;
 use crate::troute::{audit, route, RouteOptions, RouteResult};
+use crate::warm::WidthProbe;
 use fabric::arch::FabricArch;
 use fabric::rrg::RouteGraph;
 
@@ -26,13 +32,19 @@ pub struct ParOptions {
 
 impl Default for ParOptions {
     fn default() -> Self {
+        let e = EngineOptions::default();
+        Self { seeds: e.seeds, route: e.route, min_width: e.min_width, max_width: e.max_width }
+    }
+}
+
+impl From<&ParOptions> for EngineOptions {
+    fn from(o: &ParOptions) -> Self {
         Self {
-            seeds: vec![1],
-            route: RouteOptions::default(),
-            // The paper's designs need ~10 tracks; probing widths far below
-            // that wastes PathFinder iterations on hopeless congestion.
-            min_width: 6,
-            max_width: 96,
+            route: o.route,
+            seeds: o.seeds.clone(),
+            min_width: o.min_width,
+            max_width: o.max_width,
+            ..Default::default()
         }
     }
 }
@@ -47,6 +59,13 @@ pub struct ParReport {
     pub min_channel_width: usize,
     /// Routing result at the minimum channel width.
     pub result: RouteResult,
+    /// Width-search effort log: every probe with its wall time,
+    /// iteration and rip-up counts, and warm-start coverage.
+    pub probes: Vec<WidthProbe>,
+    /// Wall time of placement.
+    pub place_seconds: f64,
+    /// Wall time of the whole width search.
+    pub route_seconds: f64,
 }
 
 /// Routes at a specific width; helper for probes.
@@ -64,55 +83,24 @@ pub fn route_at_width(
     })
 }
 
-/// Finds the minimum channel width by doubling then binary search.
+/// Finds the minimum channel width by doubling then binary search, with
+/// warm-started probes.
 pub fn min_channel_width(
     netlist: &ParNetlist,
     placement: &Placement,
     arch: FabricArch,
     opts: &ParOptions,
 ) -> Option<(usize, RouteResult)> {
-    // Doubling phase.
-    let mut lo = opts.min_width;
-    let mut hi = lo;
-    let mut best: Option<(usize, RouteResult)>;
-    loop {
-        match route_at_width(netlist, placement, arch, hi, &opts.route) {
-            Some(r) => {
-                best = Some((hi, r));
-                break;
-            }
-            None => {
-                lo = hi + 1;
-                hi *= 2;
-                if hi > opts.max_width {
-                    return None;
-                }
-            }
-        }
-    }
-    // Binary search in (lo, hi).
-    let (mut hi_w, _) = (best.as_ref().unwrap().0, ());
-    while lo < hi_w {
-        let mid = (lo + hi_w) / 2;
-        match route_at_width(netlist, placement, arch, mid, &opts.route) {
-            Some(r) => {
-                hi_w = mid;
-                best = Some((mid, r));
-            }
-            None => lo = mid + 1,
-        }
-    }
-    best
+    let engine = ParEngine::new(EngineOptions::from(opts));
+    engine
+        .min_channel_width(netlist, placement, arch)
+        .map(|s| (s.min_width, s.result))
 }
 
 /// Auto-sizes a fabric, places (multi-seed), and searches the minimum
 /// channel width.
 pub fn full_par(netlist: &ParNetlist, opts: &ParOptions) -> Result<ParReport, String> {
-    let arch = FabricArch::sized_for(netlist.logic_count(), netlist.io_count());
-    let placement = place_multi_seed(netlist, arch, &opts.seeds);
-    let (w, result) = min_channel_width(netlist, &placement, arch, opts)
-        .ok_or_else(|| format!("unroutable up to width {}", opts.max_width))?;
-    Ok(ParReport { arch, placement, min_channel_width: w, result })
+    ParEngine::new(EngineOptions::from(opts)).run(netlist)
 }
 
 #[cfg(test)]

@@ -1,0 +1,202 @@
+//! `ParEngine`: the incremental, parallel place-and-route facade.
+//!
+//! One object owns every knob of the PaR pipeline and exposes the three
+//! granularities callers need:
+//!
+//! * [`ParEngine::run`] — netlist in, [`ParReport`] out (auto-sized
+//!   fabric, multi-seed placement, warm-started width search);
+//! * [`ParEngine::min_channel_width`] — the width search alone, with the
+//!   per-probe effort log;
+//! * [`ParEngine::route`] — one routing run on a prebuilt graph.
+//!
+//! Determinism contract: for a fixed netlist and options, every result is
+//! **bit-identical regardless of `threads`**. Placement fans seeds across
+//! scoped workers and keeps the lowest cost (ties broken by seed order);
+//! routing packs dirty nets into waves of bbox-disjoint members whose
+//! searches cannot observe each other, so the wave schedule — not the
+//! thread count — decides the outcome.
+
+use crate::cw::ParReport;
+use crate::incr::{route_core, Knobs};
+use crate::netlist::ParNetlist;
+use crate::tplace::{place_multi_seed_on, Placement};
+use crate::troute::{audit, RouteOptions, RouteResult, Unroutable};
+use crate::warm::{self, WidthSearch};
+use fabric::arch::FabricArch;
+use fabric::rrg::RouteGraph;
+
+/// Every knob of the engine.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// PathFinder parameters.
+    pub route: RouteOptions,
+    /// Placement seeds; all are annealed, the best placement wins.
+    pub seeds: Vec<u64>,
+    /// Worker threads for placement seeds and routing waves.
+    /// `0` = one per available CPU. Never changes results.
+    pub threads: usize,
+    /// Reroute only dirty nets per iteration (off = full rip-up PathFinder).
+    pub incremental: bool,
+    /// Confine per-net A* to placement-derived bounding boxes with staged
+    /// expansion on failure.
+    pub bbox: bool,
+    /// Seed each width probe from the previous successful width's routes.
+    pub warm_start: bool,
+    /// Cold linear width scan instead of doubling + binary search (the
+    /// reference the equivalence tests compare against).
+    pub linear_scan: bool,
+    /// Width search floor.
+    pub min_width: usize,
+    /// Width search ceiling; failing here aborts.
+    pub max_width: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            route: RouteOptions::default(),
+            seeds: vec![1],
+            threads: 0,
+            incremental: true,
+            bbox: true,
+            warm_start: true,
+            linear_scan: false,
+            // The paper's designs need ~10 tracks; probing widths far below
+            // that wastes PathFinder iterations on hopeless congestion.
+            min_width: 6,
+            max_width: 96,
+        }
+    }
+}
+
+/// The place & route engine. See the module docs.
+pub struct ParEngine {
+    /// Configuration the engine was built with.
+    pub opts: EngineOptions,
+}
+
+impl ParEngine {
+    /// An engine with the given options.
+    pub fn new(opts: EngineOptions) -> Self {
+        Self { opts }
+    }
+
+    /// Resolved worker count (`threads == 0` → available parallelism).
+    pub fn threads(&self) -> usize {
+        if self.opts.threads > 0 {
+            self.opts.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    fn knobs(&self) -> Knobs {
+        Knobs {
+            threads: self.threads(),
+            bbox: self.opts.bbox,
+            incremental: self.opts.incremental,
+        }
+    }
+
+    /// Multi-seed placement on at most [`ParEngine::threads`] workers.
+    pub fn place(&self, netlist: &ParNetlist, arch: FabricArch) -> Placement {
+        place_multi_seed_on(netlist, arch, &self.opts.seeds, self.threads())
+    }
+
+    /// One routing run on a prebuilt graph.
+    pub fn route(
+        &self,
+        netlist: &ParNetlist,
+        placement: &Placement,
+        graph: &RouteGraph,
+    ) -> Result<RouteResult, Unroutable> {
+        route_core(netlist, placement, graph, self.opts.route, self.knobs(), None)
+    }
+
+    /// Minimum-channel-width search with the per-probe effort log.
+    pub fn min_channel_width(
+        &self,
+        netlist: &ParNetlist,
+        placement: &Placement,
+        arch: FabricArch,
+    ) -> Option<WidthSearch> {
+        warm::search(netlist, placement, arch, &self.opts, self.knobs())
+    }
+
+    /// End-to-end: size a fabric, place, search the minimum width.
+    pub fn run(&self, netlist: &ParNetlist) -> Result<ParReport, String> {
+        let arch = FabricArch::sized_for(netlist.logic_count(), netlist.io_count());
+        let t0 = std::time::Instant::now();
+        let placement = self.place(netlist, arch);
+        let place_seconds = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let search = self
+            .min_channel_width(netlist, &placement, arch)
+            .ok_or_else(|| format!("unroutable up to width {}", self.opts.max_width))?;
+        let route_seconds = t1.elapsed().as_secs_f64();
+        debug_assert!({
+            let graph = RouteGraph::build(arch, search.min_width);
+            audit(netlist, &placement, &graph, &search.result).is_ok()
+        });
+        Ok(ParReport {
+            arch,
+            placement,
+            min_channel_width: search.min_width,
+            result: search.result,
+            probes: search.probes,
+            place_seconds,
+            route_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::extract;
+    use logic::aig::{Aig, InputKind};
+    use mapping::{map_parameterized, MapOptions};
+    use softfloat::gates;
+
+    fn small_mul_aig() -> Aig {
+        let mut g = Aig::new();
+        let x = g.input_vec("x", 4, InputKind::Regular);
+        let c = g.input_vec("c", 4, InputKind::Param);
+        let p = gates::mul_array(&mut g, &x, &c);
+        g.add_output_vec("p", &p);
+        g
+    }
+
+    #[test]
+    fn engine_runs_end_to_end_with_probe_log() {
+        let d = map_parameterized(&small_mul_aig(), MapOptions::default());
+        let nl = extract(&d);
+        let rep = ParEngine::new(EngineOptions::default()).run(&nl).expect("routable");
+        assert!(rep.result.wirelength > 0);
+        assert!(!rep.probes.is_empty(), "width search must log probes");
+        assert!(rep.probes.iter().any(|p| p.success));
+        assert_eq!(
+            rep.probes.iter().filter(|p| p.success).map(|p| p.width).min().unwrap(),
+            rep.min_channel_width
+        );
+        // The winning probe may be warm-started (only broken/congested
+        // nets reroute), so the only safe lower bound is "some work ran".
+        assert!(rep.result.ripups > 0);
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let d = map_parameterized(&small_mul_aig(), MapOptions::default());
+        let nl = extract(&d);
+        let run = |threads: usize| {
+            ParEngine::new(EngineOptions { threads, ..Default::default() })
+                .run(&nl)
+                .expect("routable")
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.min_channel_width, b.min_channel_width);
+        assert_eq!(a.result.trees, b.result.trees, "routing must not depend on threads");
+        assert_eq!(a.placement.site_of, b.placement.site_of);
+    }
+}

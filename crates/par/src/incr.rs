@@ -1,0 +1,557 @@
+//! The incremental PathFinder core: bounding-box-confined A*, a dirty-net
+//! worklist, and deterministic wave parallelism.
+//!
+//! This module is the engine behind both [`crate::troute::route`] and the
+//! [`crate::engine::ParEngine`] facade. It differs from a textbook
+//! PathFinder loop in three ways:
+//!
+//! * **Incremental rip-up-and-reroute.** Occupancy and history live in a
+//!   [`fabric::rrg::NodeState`] that is updated in place; per iteration
+//!   only *dirty* nets (unrouted, or crossing an overused wire) are ripped
+//!   and rerouted. Clean nets keep their trees untouched.
+//! * **Per-net bounding boxes.** Each net's A* is confined to a box around
+//!   its terminals. A net that cannot route inside its box escalates
+//!   through staged margins (3 tiles → 10 tiles → the whole fabric), and
+//!   the escalated stage sticks for later iterations.
+//! * **Deterministic wave parallelism.** Dirty nets are greedily packed
+//!   into *waves* of pairwise bbox-disjoint nets. All members of a wave
+//!   are ripped first, then routed against the same immutable snapshot of
+//!   occupancy/history — legal because disjoint boxes mean disjoint search
+//!   regions — and committed in net order. The schedule depends only on
+//!   the netlist, never on thread count, so results are **bit-identical**
+//!   across `threads = 1..N`; threads only change who executes a wave
+//!   member. Nets that fail inside their box are deferred and retried
+//!   serially after the waves with a larger box.
+
+use crate::netlist::ParNetlist;
+use crate::tplace::Placement;
+use crate::troute::{RouteOptions, RouteResult, Unroutable};
+use fabric::rrg::{NodeState, RouteGraph};
+use logic::fxhash::FxHashSet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Engine knobs threaded into the core (subset of `EngineOptions` that the
+/// router itself consumes).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Knobs {
+    /// Worker threads for wave routing (≥ 1). Results do not depend on it.
+    pub threads: usize,
+    /// Confine per-net searches to placement-derived bounding boxes.
+    pub bbox: bool,
+    /// Reroute only dirty nets after the first iteration (the seed router's
+    /// behavior); `false` restores full rip-up-every-net PathFinder.
+    pub incremental: bool,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Self { threads: 1, bbox: true, incremental: true }
+    }
+}
+
+/// Staged bbox margins (tiles around the terminal extent). The last stage
+/// is the whole fabric.
+const MARGINS: [f32; 3] = [3.0, 10.0, f32::INFINITY];
+const LAST_STAGE: u8 = (MARGINS.len() - 1) as u8;
+
+/// True when `VCGRA_PAR_VERBOSE` is set: the router and the width search
+/// narrate iterations/probes on stderr (diagnostics only, never parsed).
+pub(crate) fn verbose() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("VCGRA_PAR_VERBOSE").is_some())
+}
+
+/// Axis-aligned closed box in tile coordinates.
+#[derive(Debug, Clone, Copy)]
+struct BBox {
+    x0: f32,
+    y0: f32,
+    x1: f32,
+    y1: f32,
+}
+
+impl BBox {
+    #[inline]
+    fn contains(&self, (x, y): (f32, f32)) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    #[inline]
+    fn overlaps(&self, o: &BBox) -> bool {
+        self.x0 <= o.x1 && o.x0 <= self.x1 && self.y0 <= o.y1 && o.y0 <= self.y1
+    }
+
+    #[inline]
+    fn union(&self, o: &BBox) -> BBox {
+        BBox {
+            x0: self.x0.min(o.x0),
+            y0: self.y0.min(o.y0),
+            x1: self.x1.max(o.x1),
+            y1: self.y1.max(o.y1),
+        }
+    }
+}
+
+/// Per-worker scratch: A* cost/prev arrays reset via a touched list, the
+/// open heap, and the growing per-net tree.
+struct Scratch {
+    cost_to: Vec<f32>,
+    prev: Vec<u32>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<(Reverse<u64>, u32)>,
+    tree_set: FxHashSet<u32>,
+    tree_list: Vec<u32>,
+}
+
+impl Scratch {
+    fn new(n_nodes: usize) -> Self {
+        Self {
+            cost_to: vec![f32::INFINITY; n_nodes],
+            prev: vec![u32::MAX; n_nodes],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+            tree_set: FxHashSet::default(),
+            tree_list: Vec::new(),
+        }
+    }
+}
+
+#[inline]
+fn dist(a: (f32, f32), b: (f32, f32)) -> f32 {
+    (a.0 - b.0).abs() + (a.1 - b.1).abs()
+}
+
+/// Routes one net inside `bbox` against an immutable state snapshot.
+/// Returns the sorted node set of the tree, or `None` if some sink is
+/// unreachable within the box. Pure in its inputs: independent of which
+/// scratch/thread executes it.
+#[allow(clippy::too_many_arguments)]
+fn route_net(
+    graph: &RouteGraph,
+    state: &NodeState,
+    opts: &RouteOptions,
+    pres_fac: f64,
+    srcs: &[u32],
+    sinks: &[u32],
+    bbox: BBox,
+    scratch: &mut Scratch,
+) -> Option<Vec<u32>> {
+    let Scratch { cost_to, prev, touched, heap, tree_set, tree_list } = scratch;
+    tree_set.clear();
+    tree_list.clear();
+
+    for &sink in sinks {
+        // Reset the previous search (possibly a different net's).
+        for &t in touched.iter() {
+            cost_to[t as usize] = f32::INFINITY;
+            prev[t as usize] = u32::MAX;
+        }
+        touched.clear();
+        heap.clear();
+
+        let tloc = graph.location_f32(sink);
+        macro_rules! push {
+            ($node:expr, $c:expr, $from:expr) => {{
+                let node: u32 = $node;
+                let c: f32 = $c;
+                if c < cost_to[node as usize] {
+                    if cost_to[node as usize] == f32::INFINITY {
+                        touched.push(node);
+                    }
+                    cost_to[node as usize] = c;
+                    prev[node as usize] = $from;
+                    let h = dist(graph.location_f32(node), tloc) as f64 * opts.astar_fac;
+                    heap.push((Reverse(((c as f64 + h) * 1024.0) as u64), node));
+                }
+            }};
+        }
+        for &s in srcs {
+            push!(s, 0.0, u32::MAX);
+        }
+        for &t in tree_list.iter() {
+            push!(t, 0.0, u32::MAX);
+        }
+
+        let mut found = false;
+        while let Some((_, node)) = heap.pop() {
+            if node == sink {
+                found = true;
+                break;
+            }
+            let c_here = cost_to[node as usize];
+            for &next in graph.edges(node) {
+                if !bbox.contains(graph.location_f32(next)) {
+                    continue;
+                }
+                push!(next, c_here + state.step_cost(next, pres_fac), node);
+            }
+        }
+        if !found {
+            return None;
+        }
+        // Trace back into the tree (stops at a seeded node, prev == MAX).
+        let mut cur = sink;
+        while cur != u32::MAX {
+            if tree_set.insert(cur) {
+                tree_list.push(cur);
+            }
+            cur = prev[cur as usize];
+        }
+    }
+    let mut tree = tree_list.clone();
+    tree.sort_unstable();
+    Some(tree)
+}
+
+/// Greedy first-fit packing of dirty nets into waves of pairwise
+/// bbox-disjoint members. Deterministic in the net order.
+fn build_waves(dirty: &[u32], bboxes: &[BBox]) -> Vec<Vec<usize>> {
+    // Waves hold *positions into `dirty`*; each wave carries a union box
+    // for a quick reject before the member scan.
+    let mut waves: Vec<(Vec<usize>, BBox)> = Vec::new();
+    'nets: for (pos, _) in dirty.iter().enumerate() {
+        let bb = bboxes[pos];
+        for (members, ubox) in waves.iter_mut() {
+            if !bb.overlaps(ubox) || !members.iter().any(|&m| bb.overlaps(&bboxes[m])) {
+                *ubox = ubox.union(&bb);
+                members.push(pos);
+                continue 'nets;
+            }
+        }
+        waves.push((vec![pos], bb));
+    }
+    waves.into_iter().map(|(m, _)| m).collect()
+}
+
+/// The incremental PathFinder loop. `seed_trees`, when given, warm-starts
+/// the router: non-empty entries are taken as valid routes (the caller
+/// must have verified connectivity in *this* graph), empty entries mark
+/// nets to route from scratch.
+pub(crate) fn route_core(
+    netlist: &ParNetlist,
+    placement: &Placement,
+    graph: &RouteGraph,
+    opts: RouteOptions,
+    knobs: Knobs,
+    seed_trees: Option<Vec<Vec<u32>>>,
+) -> Result<RouteResult, Unroutable> {
+    let n_nets = netlist.nets.len();
+    let n_nodes = graph.node_count();
+    let threads = knobs.threads.max(1);
+
+    // Terminals in RRG space; sinks ordered far-first like the reference
+    // router (route the hardest sink while the tree is small).
+    let srcs: Vec<Vec<u32>> = netlist
+        .nets
+        .iter()
+        .map(|n| {
+            n.sources
+                .iter()
+                .map(|&b| graph.opin(placement.site_of[b as usize]))
+                .collect()
+        })
+        .collect();
+    let sinks: Vec<Vec<u32>> = netlist
+        .nets
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let mut s: Vec<u32> = n
+                .sinks
+                .iter()
+                .map(|&(b, p)| graph.ipin(placement.site_of[b as usize], p as usize))
+                .collect();
+            let s0 = graph.location_f32(srcs[i][0]);
+            s.sort_by(|&a, &b| {
+                let da = dist(graph.location_f32(a), s0);
+                let db = dist(graph.location_f32(b), s0);
+                db.total_cmp(&da).then(a.cmp(&b))
+            });
+            s
+        })
+        .collect();
+
+    // Terminal extents (fixed by the placement) and escalation stages.
+    let extents: Vec<BBox> = (0..n_nets)
+        .map(|i| {
+            let mut bb =
+                BBox { x0: f32::INFINITY, y0: f32::INFINITY, x1: f32::NEG_INFINITY, y1: f32::NEG_INFINITY };
+            for &t in srcs[i].iter().chain(sinks[i].iter()) {
+                let (x, y) = graph.location_f32(t);
+                bb.x0 = bb.x0.min(x);
+                bb.y0 = bb.y0.min(y);
+                bb.x1 = bb.x1.max(x);
+                bb.y1 = bb.y1.max(y);
+            }
+            bb
+        })
+        .collect();
+    let mut stage: Vec<u8> = vec![if knobs.bbox { 0 } else { LAST_STAGE }; n_nets];
+    let bbox_of = |net: usize, stage: u8| -> BBox {
+        let m = MARGINS[stage as usize];
+        let e = &extents[net];
+        BBox { x0: e.x0 - m, y0: e.y0 - m, x1: e.x1 + m, y1: e.y1 + m }
+    };
+
+    let mut state = NodeState::new(graph);
+    let mut trees: Vec<Vec<u32>> = seed_trees.unwrap_or_else(|| vec![Vec::new(); n_nets]);
+    debug_assert_eq!(trees.len(), n_nets);
+    for t in &trees {
+        for &n in t {
+            state.occupy(n);
+        }
+    }
+    // Warm-seeded nets that have not been rerouted yet. A stalled probe
+    // with *small* overuse dissolves this set (see below): the frozen
+    // routes hold capacity the contested nets may need, and ripping them
+    // turns the probe into a cold-equivalent one instead of letting the
+    // bias produce a false "unroutable" verdict.
+    let mut warm_left: Vec<bool> = trees.iter().map(|t| !t.is_empty()).collect();
+    let mut warm_n = warm_left.iter().filter(|&&w| w).count();
+    let mut debias = false;
+
+    let mut scratches: Vec<Scratch> = (0..threads).map(|_| Scratch::new(n_nodes)).collect();
+    let mut pres_fac = opts.first_pres_fac;
+    let mut ripups = 0usize;
+    let mut best_overused = usize::MAX;
+    let mut stalled = 0usize;
+    // Thrash escalation: in the endgame (small overuse), a net that keeps
+    // being ripped yet always "succeeds" inside its box is playing
+    // musical chairs over a local capacity deficit — the detour that
+    // resolves it lies outside the box. Growing the box for such nets
+    // recovers the unconfined router's verdicts. While overuse is large
+    // the gate stays closed, so hopeless probes keep their cheap searches.
+    let mut rips_of: Vec<u16> = vec![0; n_nets];
+    let mut last_overused = usize::MAX;
+
+    for iter in 0..opts.max_iters {
+        // Dirty worklist: unrouted nets, nets crossing an overused wire —
+        // or everything, in non-incremental mode.
+        let dirty: Vec<u32> = (0..n_nets as u32)
+            .filter(|&i| {
+                let t = &trees[i as usize];
+                (!knobs.incremental && iter > 0)
+                    || (debias && warm_left[i as usize])
+                    || t.is_empty()
+                    || t.iter().any(|&n| state.overused(n))
+            })
+            .collect();
+        ripups += dirty.len();
+        if warm_n > 0 {
+            for &i in &dirty {
+                if warm_left[i as usize] {
+                    warm_left[i as usize] = false;
+                    warm_n -= 1;
+                }
+            }
+        }
+        debias = false;
+        let endgame = last_overused <= n_nets / 16 + 64;
+        for &i in &dirty {
+            let i = i as usize;
+            rips_of[i] = rips_of[i].saturating_add(1);
+            if endgame && rips_of[i] >= 4 && stage[i] < LAST_STAGE {
+                stage[i] += 1;
+                rips_of[i] = 0;
+            }
+        }
+
+        let bboxes: Vec<BBox> =
+            dirty.iter().map(|&i| bbox_of(i as usize, stage[i as usize])).collect();
+        let waves = build_waves(&dirty, &bboxes);
+
+        let mut deferred: Vec<u32> = Vec::new();
+        for wave in &waves {
+            // Rip up this wave's nets only, right before rerouting them —
+            // later waves keep occupying their old wires so the snapshot
+            // the wave searches against stays faithful to the serial
+            // rip-right-before-reroute dynamics. Within the wave, a
+            // member's rip-up touches only its own (disjoint) box.
+            for &pos in wave {
+                let i = dirty[pos] as usize;
+                for &n in &trees[i] {
+                    state.release(n);
+                }
+                trees[i].clear();
+            }
+            let results = route_wave(
+                graph, &state, &opts, pres_fac, &dirty, wave, &bboxes, &srcs, &sinks,
+                &mut scratches,
+            );
+            for (net, res) in results {
+                match res {
+                    Some(tree) => {
+                        for &n in &tree {
+                            state.occupy(n);
+                        }
+                        trees[net as usize] = tree;
+                    }
+                    None => deferred.push(net),
+                }
+            }
+        }
+
+        // Escalate nets that failed inside their box; serial, in order.
+        for &net in &deferred {
+            loop {
+                if stage[net as usize] >= LAST_STAGE {
+                    return Err(Unroutable { overused: usize::MAX, iterations: iter + 1, ripups });
+                }
+                stage[net as usize] += 1;
+                let bb = bbox_of(net as usize, stage[net as usize]);
+                if let Some(tree) = route_net(
+                    graph,
+                    &state,
+                    &opts,
+                    pres_fac,
+                    &srcs[net as usize],
+                    &sinks[net as usize],
+                    bb,
+                    &mut scratches[0],
+                ) {
+                    for &n in &tree {
+                        state.occupy(n);
+                    }
+                    trees[net as usize] = tree;
+                    break;
+                }
+            }
+        }
+
+        let overused = state.accrue_history(opts.acc_fac);
+        last_overused = overused;
+        if verbose() {
+            eprintln!(
+                "    iter {:>2}: {} dirty nets, {} waves, {} overused wires",
+                iter,
+                dirty.len(),
+                waves.len(),
+                overused
+            );
+        }
+        if overused == 0 {
+            return Ok(build_result(netlist, &state, trees, iter + 1, ripups));
+        }
+        if iter + 1 == opts.max_iters {
+            return Err(Unroutable { overused, iterations: iter + 1, ripups });
+        }
+        // Stall detector: a hopelessly narrow channel shows as a large
+        // overuse count that stops improving *meaningfully* (≥3 % per
+        // window). Near-feasible runs either converge in a handful of
+        // iterations or plateau far below the absolute guard.
+        if (overused as f64) < best_overused as f64 * 0.97 {
+            best_overused = overused;
+            stalled = 0;
+        } else {
+            best_overused = best_overused.min(overused);
+            stalled += 1;
+            if opts.stall_iters > 0 && overused > n_nets / 16 + 64 {
+                if stalled >= opts.stall_iters {
+                    if warm_n > 0 {
+                        // Never let warm bias manufacture an "unroutable":
+                        // dissolve the remaining frozen routes and give the
+                        // stall clock a fresh start before giving up.
+                        if verbose() {
+                            eprintln!("    de-biasing before abort: ripping {warm_n} frozen warm nets");
+                        }
+                        debias = true;
+                        best_overused = usize::MAX;
+                        stalled = 0;
+                    } else {
+                        return Err(Unroutable { overused, iterations: iter + 1, ripups });
+                    }
+                }
+            } else if stalled >= 3 && warm_n > 0 {
+                // Small, stubborn overuse on a warm-started run: the
+                // remaining frozen routes are the likely culprit. Rip
+                // them all next iteration and restart the stall clock.
+                if verbose() {
+                    eprintln!("    de-biasing: ripping {warm_n} frozen warm nets");
+                }
+                debias = true;
+                best_overused = usize::MAX;
+                stalled = 0;
+            }
+        }
+        pres_fac *= opts.pres_fac_mult;
+    }
+    unreachable!("loop returns before exhausting iterations")
+}
+
+/// Routes one wave. Members' boxes are pairwise disjoint, so each search
+/// reads the shared snapshot without seeing the others — any partition of
+/// the wave across workers yields the same trees. Chunks are contiguous,
+/// so concatenating per-chunk results preserves member order.
+#[allow(clippy::too_many_arguments)]
+fn route_wave(
+    graph: &RouteGraph,
+    state: &NodeState,
+    opts: &RouteOptions,
+    pres_fac: f64,
+    dirty: &[u32],
+    wave: &[usize],
+    bboxes: &[BBox],
+    srcs: &[Vec<u32>],
+    sinks: &[Vec<u32>],
+    scratches: &mut [Scratch],
+) -> Vec<(u32, Option<Vec<u32>>)> {
+    let run_one = |pos: usize, scratch: &mut Scratch| -> (u32, Option<Vec<u32>>) {
+        let net = dirty[pos] as usize;
+        let tree = route_net(
+            graph, state, opts, pres_fac, &srcs[net], &sinks[net], bboxes[pos], scratch,
+        );
+        (net as u32, tree)
+    };
+
+    let threads = scratches.len();
+    if threads <= 1 || wave.len() <= 1 {
+        let scratch = &mut scratches[0];
+        return wave.iter().map(|&pos| run_one(pos, scratch)).collect();
+    }
+
+    let per = wave.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(wave.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk, scratch) in wave.chunks(per).zip(scratches.iter_mut()) {
+            handles.push(scope.spawn(move || {
+                chunk.iter().map(|&pos| run_one(pos, scratch)).collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            out.extend(h.join().expect("router worker panicked"));
+        }
+    });
+    out
+}
+
+fn build_result(
+    netlist: &ParNetlist,
+    state: &NodeState,
+    trees: Vec<Vec<u32>>,
+    iterations: usize,
+    ripups: usize,
+) -> RouteResult {
+    let mut wl = 0usize;
+    let mut twl = 0usize;
+    let mut tcon_switches = 0usize;
+    for (i, tree) in trees.iter().enumerate() {
+        let wires = tree.iter().filter(|&&n| state.is_wire(n)).count();
+        wl += wires;
+        if netlist.nets[i].is_tunable() {
+            twl += wires;
+            // Every used node of a tunable net was entered through a
+            // configured programmable switch.
+            tcon_switches += tree.len().saturating_sub(netlist.nets[i].sources.len());
+        }
+    }
+    RouteResult {
+        trees,
+        wirelength: wl,
+        tunable_wirelength: twl,
+        tcon_switches,
+        iterations,
+        ripups,
+    }
+}

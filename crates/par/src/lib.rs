@@ -12,15 +12,27 @@
 //!   wirelength cost (multi-seed parallel variant included);
 //! * [`troute`] — PathFinder-style negotiated-congestion routing on the
 //!   fabric's routing-resource graph, with A* directed expansion;
-//! * [`cw`] — minimum-channel-width binary search and the end-to-end
-//!   [`cw::full_par`] driver that produces the WL/CW columns of Table I.
+//! * [`incr`] — the incremental router core: in-place occupancy/history,
+//!   dirty-net worklist, per-net A* bounding boxes with staged expansion,
+//!   and deterministic wave parallelism (bit-identical for any thread
+//!   count);
+//! * [`warm`] — minimum-channel-width search (doubling + binary) whose
+//!   probes are warm-started from the previous width's routing trees;
+//! * [`engine`] — the [`engine::ParEngine`] facade owning every knob;
+//! * [`cw`] — the stable options-light API ([`cw::full_par`]) that
+//!   produces the WL/CW columns of Table I, now backed by the engine.
 
 pub mod cw;
+pub mod engine;
+mod incr;
 pub mod netlist;
 pub mod tplace;
 pub mod troute;
+pub mod warm;
 
 pub use cw::{full_par, ParReport};
+pub use engine::{EngineOptions, ParEngine};
 pub use netlist::{extract, Block, BlockKind, Net, ParNetlist};
-pub use tplace::{place, place_multi_seed, Placement};
+pub use tplace::{place, place_multi_seed, place_multi_seed_on, Placement};
 pub use troute::{route, RouteOptions, RouteResult};
+pub use warm::{channel_width_estimate, channel_width_lower_bound, WidthProbe, WidthSearch};

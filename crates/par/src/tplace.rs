@@ -268,23 +268,47 @@ pub fn place(netlist: &ParNetlist, arch: FabricArch, seed: u64) -> Placement {
 /// Runs several independent anneals in parallel (one thread per seed) and
 /// returns the lowest-cost placement.
 pub fn place_multi_seed(netlist: &ParNetlist, arch: FabricArch, seeds: &[u64]) -> Placement {
+    place_multi_seed_on(netlist, arch, seeds, seeds.len())
+}
+
+/// [`place_multi_seed`] with a worker cap: seeds are split into at most
+/// `threads` contiguous chunks, one scoped thread each. The winner is the
+/// lowest-cost placement, ties broken by seed order — so the result never
+/// depends on the thread count.
+pub fn place_multi_seed_on(
+    netlist: &ParNetlist,
+    arch: FabricArch,
+    seeds: &[u64],
+    threads: usize,
+) -> Placement {
     assert!(!seeds.is_empty());
-    if seeds.len() == 1 {
-        return place(netlist, arch, seeds[0]);
-    }
-    let results = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&s| scope.spawn(move || place(netlist, arch, s)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("placement thread"))
-            .collect::<Vec<_>>()
-    });
+    let threads = threads.max(1).min(seeds.len());
+    let results: Vec<Placement> = if threads == 1 {
+        seeds.iter().map(|&s| place(netlist, arch, s)).collect()
+    } else {
+        let per = seeds.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .chunks(per)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk.iter().map(|&s| place(netlist, arch, s)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            // Contiguous chunks concatenated in order: results stay in
+            // seed order regardless of the worker count.
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("placement thread"))
+                .collect()
+        })
+    };
     results
         .into_iter()
-        .min_by(|a, b| a.cost.total_cmp(&b.cost))
+        .enumerate()
+        .min_by(|(ia, a), (ib, b)| a.cost.total_cmp(&b.cost).then(ia.cmp(ib)))
+        .map(|(_, p)| p)
         .unwrap()
 }
 

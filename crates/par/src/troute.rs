@@ -12,13 +12,18 @@
 //! share wires because at most one of them is active for any parameter
 //! value. This is what removes the paper's intra-/inter-connect from the
 //! LUT budget at *zero* channel-width overhead.
+//!
+//! Since the `par-engine` rework the actual search loop lives in
+//! [`crate::incr`] (incremental rip-up, bounding boxes, wave
+//! parallelism); this module keeps the router's public types, the
+//! single-shot [`route`] entry point (the incremental core on one
+//! thread), and the [`audit`] used by tests and benches.
 
+use crate::incr::{route_core, Knobs};
 use crate::netlist::ParNetlist;
 use crate::tplace::Placement;
 use fabric::rrg::RouteGraph;
 use logic::fxhash::FxHashSet;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Router options.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +38,13 @@ pub struct RouteOptions {
     pub acc_fac: f64,
     /// A* directedness (1.0 = admissible-ish, >1 trades quality for speed).
     pub astar_fac: f64,
+    /// Abort early when the best overuse count has not improved by ≥3 %
+    /// for this many consecutive iterations *while overuse is still
+    /// massive* (> nets/16 + 64 wires) — the signature of a hopelessly
+    /// narrow channel. `0` disables the stall detector. Near-feasible
+    /// widths plateau far below the threshold and always get their full
+    /// `max_iters` budget.
+    pub stall_iters: usize,
 }
 
 impl Default for RouteOptions {
@@ -43,6 +55,7 @@ impl Default for RouteOptions {
             pres_fac_mult: 1.8,
             acc_fac: 1.0,
             astar_fac: 1.2,
+            stall_iters: 6,
         }
     }
 }
@@ -60,203 +73,32 @@ pub struct RouteResult {
     pub tcon_switches: usize,
     /// PathFinder iterations used.
     pub iterations: usize,
+    /// Net (re)route operations across all iterations — the router-effort
+    /// figure the benches report next to wall time.
+    pub ripups: usize,
 }
 
 /// Routing failure: congestion never resolved.
 #[derive(Debug, Clone, Copy)]
 pub struct Unroutable {
-    /// Wires still overused in the final iteration.
+    /// Wires still overused in the final iteration (`usize::MAX` when a
+    /// sink was outright unreachable).
     pub overused: usize,
+    /// PathFinder iterations spent before giving up.
+    pub iterations: usize,
+    /// Net (re)route operations spent before giving up.
+    pub ripups: usize,
 }
 
-/// Routes a placed netlist on the given routing-resource graph.
+/// Routes a placed netlist on the given routing-resource graph: the
+/// incremental core on a single thread.
 pub fn route(
     netlist: &ParNetlist,
     placement: &Placement,
     graph: &RouteGraph,
     opts: RouteOptions,
 ) -> Result<RouteResult, Unroutable> {
-    let n_nodes = graph.node_count();
-    let n_nets = netlist.nets.len();
-
-    // Net terminals in RRG space.
-    let src_nodes: Vec<Vec<u32>> = netlist
-        .nets
-        .iter()
-        .map(|n| {
-            n.sources
-                .iter()
-                .map(|&b| graph.opin(placement.site_of[b as usize]))
-                .collect()
-        })
-        .collect();
-    let sink_nodes: Vec<Vec<u32>> = netlist
-        .nets
-        .iter()
-        .map(|n| {
-            n.sinks
-                .iter()
-                .map(|&(b, p)| graph.ipin(placement.site_of[b as usize], p as usize))
-                .collect()
-        })
-        .collect();
-
-    // Occupancy (nets per wire; pins are capacity-unlimited).
-    let mut occ = vec![0u16; n_nodes];
-    let mut hist = vec![0f32; n_nodes];
-    let mut trees: Vec<Vec<u32>> = vec![Vec::new(); n_nets];
-    let is_wire: Vec<bool> = (0..n_nodes as u32).map(|i| graph.kind(i).is_wire()).collect();
-
-    let mut pres_fac = opts.first_pres_fac;
-    // Scratch buffers reused across searches (perf-book: reuse workhorse
-    // collections instead of reallocating).
-    let mut cost_to = vec![f32::INFINITY; n_nodes];
-    let mut prev = vec![u32::MAX; n_nodes];
-    let mut touched: Vec<u32> = Vec::new();
-
-    for iter in 0..opts.max_iters {
-        for net in 0..n_nets {
-            // After the first iteration only congested nets are rerouted.
-            if iter > 0 {
-                let congested = trees[net].iter().any(|&n| occ[n as usize] > 1);
-                if !congested {
-                    continue;
-                }
-            }
-            // Rip up.
-            for &n in &trees[net] {
-                if is_wire[n as usize] {
-                    occ[n as usize] -= 1;
-                }
-            }
-            trees[net].clear();
-
-            // Route sink by sink, reusing the growing tree.
-            let mut tree: FxHashSet<u32> = FxHashSet::default();
-            let mut ordered_sinks = sink_nodes[net].clone();
-            // Deterministic order: far sinks first (by heuristic distance).
-            let s0 = graph.location(src_nodes[net][0]);
-            ordered_sinks.sort_by(|&a, &b| {
-                let da = dist(graph.location(a), s0);
-                let db = dist(graph.location(b), s0);
-                db.total_cmp(&da).then(a.cmp(&b))
-            });
-
-            for &sink in &ordered_sinks {
-                // A* from tree ∪ sources to sink.
-                let tloc = graph.location(sink);
-                let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
-                for &t in touched.iter() {
-                    cost_to[t as usize] = f32::INFINITY;
-                    prev[t as usize] = u32::MAX;
-                }
-                touched.clear();
-                let push = |heap: &mut BinaryHeap<(Reverse<u64>, u32)>,
-                                cost_to: &mut [f32],
-                                prev: &mut [u32],
-                                touched: &mut Vec<u32>,
-                                node: u32,
-                                c: f32,
-                                from: u32| {
-                    if c < cost_to[node as usize] {
-                        if cost_to[node as usize] == f32::INFINITY {
-                            touched.push(node);
-                        }
-                        cost_to[node as usize] = c;
-                        prev[node as usize] = from;
-                        let h = dist(graph.location(node), tloc) * opts.astar_fac;
-                        heap.push((Reverse(((c as f64 + h) * 1024.0) as u64), node));
-                    }
-                };
-                for &s in &src_nodes[net] {
-                    push(&mut heap, &mut cost_to, &mut prev, &mut touched, s, 0.0, u32::MAX);
-                }
-                for &t in &tree {
-                    push(&mut heap, &mut cost_to, &mut prev, &mut touched, t, 0.0, u32::MAX);
-                }
-                let mut found = false;
-                while let Some((_, node)) = heap.pop() {
-                    if node == sink {
-                        found = true;
-                        break;
-                    }
-                    let c_here = cost_to[node as usize];
-                    for &next in graph.edges(node) {
-                        let step = if is_wire[next as usize] {
-                            let o = occ[next as usize] as f64;
-                            let over = (o + 1.0 - 1.0).max(0.0); // occupancy if we take it
-                            (1.0 + pres_fac * over + hist[next as usize] as f64) as f32
-                        } else {
-                            0.4
-                        };
-                        push(
-                            &mut heap,
-                            &mut cost_to,
-                            &mut prev,
-                            &mut touched,
-                            next,
-                            c_here + step,
-                            node,
-                        );
-                    }
-                }
-                if !found {
-                    return Err(Unroutable { overused: usize::MAX });
-                }
-                // Trace back, add to tree, bump occupancy.
-                let mut cur = sink;
-                while cur != u32::MAX {
-                    if tree.insert(cur) && is_wire[cur as usize] {
-                        occ[cur as usize] += 1;
-                    }
-                    cur = prev[cur as usize];
-                }
-            }
-            trees[net] = tree.into_iter().collect();
-            trees[net].sort_unstable();
-        }
-
-        // Congestion check.
-        let mut overused = 0usize;
-        for n in 0..n_nodes {
-            if occ[n] > 1 {
-                overused += 1;
-                hist[n] += (opts.acc_fac * (occ[n] - 1) as f64) as f32;
-            }
-        }
-        if overused == 0 {
-            let mut wl = 0usize;
-            let mut twl = 0usize;
-            let mut tcon_switches = 0usize;
-            for (i, tree) in trees.iter().enumerate() {
-                let wires = tree.iter().filter(|&&n| is_wire[n as usize]).count();
-                wl += wires;
-                if netlist.nets[i].is_tunable() {
-                    twl += wires;
-                    // Every used node of a tunable net was entered through a
-                    // configured programmable switch.
-                    tcon_switches += tree.len().saturating_sub(netlist.nets[i].sources.len());
-                }
-            }
-            return Ok(RouteResult {
-                trees,
-                wirelength: wl,
-                tunable_wirelength: twl,
-                tcon_switches,
-                iterations: iter + 1,
-            });
-        }
-        if iter + 1 == opts.max_iters {
-            return Err(Unroutable { overused });
-        }
-        pres_fac *= opts.pres_fac_mult;
-    }
-    unreachable!("loop returns before exhausting iterations")
-}
-
-#[inline]
-fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
-    (a.0 - b.0).abs() + (a.1 - b.1).abs()
+    route_core(netlist, placement, graph, opts, Knobs::default(), None)
 }
 
 /// Audits a routing result: every sink must be reachable from one of the
@@ -341,6 +183,7 @@ mod tests {
         let (nl, p, g) = tiny();
         let r = route(&nl, &p, &g, RouteOptions::default()).expect("routable");
         assert!(r.wirelength > 0);
+        assert!(r.ripups >= nl.nets.len());
         audit(&nl, &p, &g, &r).expect("audit clean");
     }
 

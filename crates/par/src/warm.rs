@@ -1,0 +1,348 @@
+//! Warm-started minimum-channel-width search.
+//!
+//! VPR-style methodology: the placement is width-independent, so the
+//! search probes the router at candidate widths. The engine's search is a
+//! doubling phase followed by binary search, and every probe after the
+//! first success is **warm-started**: the routing trees of the nearest
+//! successful (wider) graph are translated into the probe's graph, each
+//! net's translated tree is re-validated for connectivity (connection-box
+//! and switch-box patterns are width-dependent, so edges do not
+//! necessarily survive translation), and only broken or congested nets
+//! are rerouted. A cold linear scan is kept behind
+//! `EngineOptions::linear_scan` as the reference; both must find the same
+//! minimum (see the equivalence tests).
+
+use crate::engine::EngineOptions;
+use crate::incr::{route_core, Knobs};
+use crate::netlist::ParNetlist;
+use crate::tplace::Placement;
+use crate::troute::RouteResult;
+use fabric::arch::FabricArch;
+use fabric::rrg::RouteGraph;
+use logic::fxhash::FxHashSet;
+
+/// One router invocation inside the width search.
+#[derive(Debug, Clone, Copy)]
+pub struct WidthProbe {
+    /// Channel width probed.
+    pub width: usize,
+    /// Did the router legalize at this width?
+    pub success: bool,
+    /// Wall time of the probe.
+    pub seconds: f64,
+    /// PathFinder iterations spent.
+    pub iterations: usize,
+    /// Net (re)route operations spent.
+    pub ripups: usize,
+    /// Nets whose routes were carried over from the warm-start seed.
+    pub warm_nets: usize,
+}
+
+/// Outcome of the width search: the minimum width, the routing there, and
+/// the per-probe effort log.
+pub struct WidthSearch {
+    /// Minimum routable channel width found.
+    pub min_width: usize,
+    /// Routing result at the minimum width.
+    pub result: RouteResult,
+    /// Every probe, in the order it ran.
+    pub probes: Vec<WidthProbe>,
+    /// The placement-derived lower bound the search started from.
+    pub lower_bound: usize,
+}
+
+/// A sound lower bound on the minimum channel width, from placement
+/// geometry alone.
+///
+/// For every cut between adjacent tile columns, the set of channel wires
+/// any crossing path must touch (the cut's vertex separator in the RRG —
+/// one vertical channel column plus one full horizontal channel per row)
+/// holds `(2s+1)·width` wires, and every net whose terminal extent spans
+/// the cut needs at least one of them. So
+/// `width ≥ ⌈crossings / (2s+1)⌉` at every cut (rows symmetric). Starting
+/// the width search here skips the hopeless probes that dominated the
+/// pre-engine TROUTE wall time without ever changing the found minimum.
+pub fn channel_width_lower_bound(
+    netlist: &ParNetlist,
+    placement: &Placement,
+    arch: FabricArch,
+) -> usize {
+    let s = arch.size;
+    if s < 2 {
+        return 2;
+    }
+    let mut cross_v = vec![0usize; s - 1];
+    let mut cross_h = vec![0usize; s - 1];
+    for net in &netlist.nets {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut upd = |b: u32| {
+            let (x, y) = placement.site_of[b as usize].location(s);
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        };
+        for &b in &net.sources {
+            upd(b);
+        }
+        for &(b, _) in &net.sinks {
+            upd(b);
+        }
+        // Cut k sits at coordinate k + 1.5 (tile centers are 1..=s).
+        for (k, c) in cross_v.iter_mut().enumerate() {
+            let cut = k as f64 + 1.5;
+            if min_x < cut && max_x > cut {
+                *c += 1;
+            }
+        }
+        for (k, c) in cross_h.iter_mut().enumerate() {
+            let cut = k as f64 + 1.5;
+            if min_y < cut && max_y > cut {
+                *c += 1;
+            }
+        }
+    }
+    let sep = 2 * s + 1;
+    cross_v
+        .iter()
+        .chain(cross_h.iter())
+        .map(|&c| c.div_ceil(sep))
+        .max()
+        .unwrap_or(2)
+        .max(2)
+}
+
+/// Congestion-map **estimate** of the channel width the design wants:
+/// every net spreads one unit of wire demand uniformly over the channels
+/// of its terminal bounding box (the classic probabilistic congestion
+/// estimate), and the peak per-channel demand — padded 60 % for router
+/// detours — picks the width the doubling phase starts from.
+///
+/// Unlike [`channel_width_lower_bound`] this is *not* sound, and it does
+/// not need to be: the width search only uses it to choose its first
+/// probe. Too low costs a doubling step; too high costs a few cheap
+/// warm-started binary probes. What it buys is never grinding the router
+/// through the hopelessly narrow cold widths that dominated the
+/// pre-engine TROUTE wall time.
+pub fn channel_width_estimate(
+    netlist: &ParNetlist,
+    placement: &Placement,
+    arch: FabricArch,
+) -> usize {
+    let s = arch.size;
+    // Demand per row-channel cell (horizontal wires) and column-channel
+    // cell (vertical wires), indexed [channel][tile].
+    let mut h = vec![0f32; (s + 1) * s];
+    let mut v = vec![0f32; (s + 1) * s];
+    for net in &netlist.nets {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut upd = |b: u32| {
+            let (x, y) = placement.site_of[b as usize].location(s);
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        };
+        for &b in &net.sources {
+            upd(b);
+        }
+        for &(b, _) in &net.sinks {
+            upd(b);
+        }
+        // Tile/channel index ranges covered by the bbox (clamped).
+        let x0 = (min_x - 1.0).floor().clamp(0.0, (s - 1) as f64) as usize;
+        let x1 = (max_x - 1.0).ceil().clamp(0.0, (s - 1) as f64) as usize;
+        let y0 = (min_y - 1.0).floor().clamp(0.0, (s - 1) as f64) as usize;
+        let y1 = (max_y - 1.0).ceil().clamp(0.0, (s - 1) as f64) as usize;
+        let rows = (y1 - y0 + 2) as f32; // row-channels usable: y0..=y1+1
+        let cols = (x1 - x0 + 2) as f32;
+        // One unit of horizontal demand per tile column the net spans,
+        // spread over the bbox's row-channels (and symmetrically for
+        // vertical demand).
+        for y in y0..=(y1 + 1).min(s) {
+            for x in x0..=x1 {
+                h[y * s + x] += 1.0 / rows;
+            }
+        }
+        for x in x0..=(x1 + 1).min(s) {
+            for y in y0..=y1 {
+                v[x * s + y] += 1.0 / cols;
+            }
+        }
+    }
+    let peak = h
+        .iter()
+        .chain(v.iter())
+        .fold(0f32, |m, &d| m.max(d));
+    ((peak * 1.6).ceil() as usize).max(2)
+}
+
+fn probe(
+    netlist: &ParNetlist,
+    placement: &Placement,
+    graph: &RouteGraph,
+    opts: &EngineOptions,
+    knobs: Knobs,
+    seed: Option<Vec<Vec<u32>>>,
+    probes: &mut Vec<WidthProbe>,
+) -> Option<RouteResult> {
+    let warm_nets = seed
+        .as_ref()
+        .map(|s| s.iter().filter(|t| !t.is_empty()).count())
+        .unwrap_or(0);
+    if crate::incr::verbose() {
+        eprintln!("  probe width {} ({} warm nets) ...", graph.width, warm_nets);
+    }
+    let t0 = std::time::Instant::now();
+    let r = route_core(netlist, placement, graph, opts.route, knobs, seed);
+    let seconds = t0.elapsed().as_secs_f64();
+    let (success, iterations, ripups) = match &r {
+        Ok(res) => (true, res.iterations, res.ripups),
+        Err(e) => (false, e.iterations, e.ripups),
+    };
+    if crate::incr::verbose() {
+        eprintln!(
+            "  probe width {}: {} in {:.2}s ({} iters, {} ripups)",
+            graph.width,
+            if success { "ok" } else { "FAIL" },
+            seconds,
+            iterations,
+            ripups
+        );
+    }
+    probes.push(WidthProbe { width: graph.width, success, seconds, iterations, ripups, warm_nets });
+    r.ok()
+}
+
+/// Translates `trees` (routed on `old`) into `new`'s id space. A net whose
+/// tree loses a node (track beyond the new width) or whose translated node
+/// set is no longer connected under `new`'s edges comes back empty — the
+/// router reroutes it from scratch.
+fn translate_trees(
+    netlist: &ParNetlist,
+    placement: &Placement,
+    old: &RouteGraph,
+    new: &RouteGraph,
+    trees: &[Vec<u32>],
+) -> Vec<Vec<u32>> {
+    let mut reach: FxHashSet<u32> = FxHashSet::default();
+    let mut queue: Vec<u32> = Vec::new();
+    netlist
+        .nets
+        .iter()
+        .zip(trees)
+        .map(|(net, tree)| {
+            let mut t = Vec::with_capacity(tree.len());
+            for &n in tree {
+                match new.translate_from(old, n) {
+                    Some(m) => t.push(m),
+                    None => return Vec::new(),
+                }
+            }
+            t.sort_unstable();
+            // Connectivity audit in the new graph: every sink must be
+            // reachable from a used source through the translated set.
+            let set: FxHashSet<u32> = t.iter().copied().collect();
+            reach.clear();
+            queue.clear();
+            for &b in &net.sources {
+                let s = new.opin(placement.site_of[b as usize]);
+                if set.contains(&s) && reach.insert(s) {
+                    queue.push(s);
+                }
+            }
+            while let Some(n) = queue.pop() {
+                for &e in new.edges(n) {
+                    if set.contains(&e) && reach.insert(e) {
+                        queue.push(e);
+                    }
+                }
+            }
+            let ok = net.sinks.iter().all(|&(b, p)| {
+                reach.contains(&new.ipin(placement.site_of[b as usize], p as usize))
+            });
+            if ok {
+                t
+            } else {
+                Vec::new()
+            }
+        })
+        .collect()
+}
+
+/// Runs the width search configured by `opts` (binary + warm starts by
+/// default, cold linear scan when `opts.linear_scan`).
+pub(crate) fn search(
+    netlist: &ParNetlist,
+    placement: &Placement,
+    arch: FabricArch,
+    opts: &EngineOptions,
+    knobs: Knobs,
+) -> Option<WidthSearch> {
+    let mut probes = Vec::new();
+
+    if opts.linear_scan {
+        // Cold reference scan: no bound, no warm starts.
+        for w in opts.min_width..=opts.max_width {
+            let graph = RouteGraph::build(arch, w);
+            if let Some(r) = probe(netlist, placement, &graph, opts, knobs, None, &mut probes) {
+                return Some(WidthSearch { min_width: w, result: r, probes, lower_bound: opts.min_width });
+            }
+        }
+        return None;
+    }
+
+    let lower_bound = channel_width_lower_bound(netlist, placement, arch);
+    let estimate = channel_width_estimate(netlist, placement, arch);
+    if crate::incr::verbose() {
+        eprintln!("  width lower bound {lower_bound}, congestion estimate {estimate}");
+    }
+
+    // Doubling phase: find a routable upper end. Probes below the sound
+    // bound are pointless; the congestion estimate picks the start so the
+    // hopeless cold widths are (usually) never ground through. The
+    // minimum itself is still established by the binary phase, which
+    // searches all the way down to `opts.min_width`.
+    let mut lo = opts.min_width.max(lower_bound);
+    let mut hi = lo.max(estimate.min(opts.max_width));
+    let (mut best_w, mut best_r, mut best_g);
+    loop {
+        let graph = RouteGraph::build(arch, hi);
+        match probe(netlist, placement, &graph, opts, knobs, None, &mut probes) {
+            Some(r) => {
+                (best_w, best_r, best_g) = (hi, r, graph);
+                break;
+            }
+            None => {
+                lo = hi + 1;
+                if hi >= opts.max_width {
+                    return None;
+                }
+                hi = (hi * 2).min(opts.max_width);
+            }
+        }
+    }
+
+    // Binary search in (lo, best_w); each probe seeds from the nearest
+    // successful width's trees.
+    while lo < best_w {
+        let mid = (lo + best_w) / 2;
+        let graph = RouteGraph::build(arch, mid);
+        let seed = opts
+            .warm_start
+            .then(|| translate_trees(netlist, placement, &best_g, &graph, &best_r.trees));
+        match probe(netlist, placement, &graph, opts, knobs, seed, &mut probes) {
+            Some(r) => {
+                (best_w, best_r, best_g) = (mid, r, graph);
+            }
+            None => lo = mid + 1,
+        }
+    }
+    Some(WidthSearch { min_width: best_w, result: best_r, probes, lower_bound })
+}

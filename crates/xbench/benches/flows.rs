@@ -67,6 +67,17 @@ fn bench_par(c: &mut Criterion) {
             )
         })
     });
+    // The engine's full width search (warm-started binary probes); the
+    // printed router stats come from the probe log it returns.
+    let engine = par::ParEngine::new(par::EngineOptions::default());
+    g.bench_function("engine_min_width_mac_5_8", |b| {
+        b.iter(|| {
+            let s = engine
+                .min_channel_width(&netlist, &placement, arch)
+                .expect("routable");
+            black_box((s.min_width, s.result.wirelength, s.probes.len()))
+        })
+    });
     g.finish();
 }
 

@@ -9,17 +9,87 @@
 //! *shape*: ≥30 % LUT reduction, hundreds of TCONs moved to routing, a few
 //! logic levels saved, ~31 % wirelength saved, no channel-width overhead.
 //!
-//! Usage: `cargo run -p xbench --release --bin table1 [--skip-par] [--smoke]`
+//! PaR runs on the `par-engine` (incremental reroute, warm-started width
+//! search, wave parallelism); the per-probe effort log is printed after
+//! the table.
+//!
+//! Usage: `cargo run -p xbench --release --bin table1 [--skip-par]
+//!         [--smoke] [--json <path>]`
 //! (`--smoke` maps a reduced (5,10) PE and skips the PaR columns — the
-//! paper-scale run is the scheduled CI job's business)
+//! paper-scale run is the scheduled CI job's business; `--json` writes
+//! the machine-readable benchmark record, e.g. `out/BENCH_table1.json`)
 
-use par::cw::ParOptions;
+use mapping::MapStats;
+use par::{ParEngine, ParReport};
 use softfloat::FpFormat;
 use xbench::{build_pe_aig_with, map_pe, print_header, print_row, reduction};
 
+struct FlowResult {
+    map_seconds: f64,
+    stats: MapStats,
+    rep: Option<ParReport>,
+}
+
+fn print_probes(label: &str, rep: &ParReport) {
+    println!(
+        "\n{label}: place {:.2}s, width search {:.2}s \
+         ({} iterations, {} rip-ups at the final width)",
+        rep.place_seconds, rep.route_seconds, rep.result.iterations, rep.result.ripups
+    );
+    for p in &rep.probes {
+        println!(
+            "  width {:>3}: {:<4} {:>8.2}s  {:>2} iters {:>7} rip-ups {:>5} warm nets",
+            p.width,
+            if p.success { "ok" } else { "FAIL" },
+            p.seconds,
+            p.iterations,
+            p.ripups,
+            p.warm_nets
+        );
+    }
+}
+
+fn json_flow(f: &FlowResult) -> String {
+    let mut s = format!(
+        "{{\n      \"map_seconds\": {:.6},\n      \"luts\": {},\n      \"tluts\": {},\n      \"tcons\": {},\n      \"depth\": {}",
+        f.map_seconds, f.stats.luts, f.stats.tluts, f.stats.tcons, f.stats.depth
+    );
+    if let Some(rep) = &f.rep {
+        s.push_str(&format!(
+            ",\n      \"place_seconds\": {:.6},\n      \"route_seconds\": {:.6},\n      \"min_channel_width\": {},\n      \"wirelength\": {},\n      \"tunable_wirelength\": {},\n      \"tcon_switches\": {},\n      \"iterations\": {},\n      \"ripups\": {},\n      \"fabric_size\": {},\n      \"probes\": [",
+            rep.place_seconds,
+            rep.route_seconds,
+            rep.min_channel_width,
+            rep.result.wirelength,
+            rep.result.tunable_wirelength,
+            rep.result.tcon_switches,
+            rep.result.iterations,
+            rep.result.ripups,
+            rep.arch.size
+        ));
+        for (i, p) in rep.probes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n        {{\"width\": {}, \"success\": {}, \"seconds\": {:.6}, \"iterations\": {}, \"ripups\": {}, \"warm_nets\": {}}}",
+                p.width, p.success, p.seconds, p.iterations, p.ripups, p.warm_nets
+            ));
+        }
+        s.push_str("\n      ]");
+    }
+    s.push_str("\n    }");
+    s
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let smoke = xbench::smoke_mode();
-    let skip_par = smoke || std::env::args().any(|a| a == "--skip-par");
+    let skip_par = smoke || args.iter().any(|a| a == "--skip-par");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
     let fmt = if smoke { FpFormat::new(5, 10) } else { FpFormat::PAPER };
 
     println!("Building the FP-MAC virtual PE (FloPoCo we={}, wf={}) ...", fmt.we, fmt.wf);
@@ -33,17 +103,11 @@ fn main() {
     let par = map_pe(&par_aig, true);
     let t_par = t1.elapsed();
     let (sc, sp) = (conv.stats(), par.stats());
-    println!(
-        "mapped: conventional in {t_conv:?}, parameterized in {t_par:?}"
-    );
+    println!("mapped: conventional in {t_conv:?}, parameterized in {t_par:?}");
 
     print_header("Table I — resource utilization of a PE (mapping)");
     print_row("4-LUTs, conventional", "2522", &sc.luts.to_string());
-    print_row(
-        "4-LUTs, fully parameterized",
-        "1802",
-        &sp.luts.to_string(),
-    );
+    print_row("4-LUTs, fully parameterized", "1802", &sp.luts.to_string());
     print_row("  of which TLUTs", "526", &sp.tluts.to_string());
     print_row("TCONs (mapped tunable connections)", "568", &sp.tcons.to_string());
     print_row("logic depth, conventional", "36", &sc.depth.to_string());
@@ -59,67 +123,89 @@ fn main() {
         &format!("{} levels", sc.depth.saturating_sub(sp.depth)),
     );
 
-    if skip_par {
+    let mut conv_flow =
+        FlowResult { map_seconds: t_conv.as_secs_f64(), stats: sc, rep: None };
+    let mut par_flow = FlowResult { map_seconds: t_par.as_secs_f64(), stats: sp, rep: None };
+
+    if !skip_par {
+        println!("\nPlace & route (par-engine, min channel width search) ...");
+        let engine = ParEngine::new(par::EngineOptions::default());
+        let nl_c = par::extract(&conv);
+        let nl_p = par::extract(&par);
+        let t2 = std::time::Instant::now();
+        let rep_c = engine.run(&nl_c).expect("conventional PE routable");
+        println!("conventional PaR done in {:?}", t2.elapsed());
+        let t3 = std::time::Instant::now();
+        let rep_p = engine.run(&nl_p).expect("parameterized PE routable");
+        println!("parameterized PaR done in {:?}", t3.elapsed());
+
+        print_header("Table I — PaR results of a PE");
+        print_row(
+            "wirelength, conventional",
+            "27242",
+            &rep_c.result.wirelength.to_string(),
+        );
+        print_row(
+            "wirelength, parameterized",
+            "16824",
+            &rep_p.result.wirelength.to_string(),
+        );
+        print_row(
+            "WL reduction",
+            "~31%",
+            &format!(
+                "{:.1}%",
+                reduction(rep_c.result.wirelength, rep_p.result.wirelength)
+            ),
+        );
+        print_row(
+            "min channel width, conventional",
+            "10",
+            &rep_c.min_channel_width.to_string(),
+        );
+        print_row(
+            "min channel width, parameterized",
+            "10",
+            &rep_p.min_channel_width.to_string(),
+        );
+        print_row(
+            "CW overhead from TCONs",
+            "none",
+            if rep_p.min_channel_width <= rep_c.min_channel_width {
+                "none"
+            } else {
+                "PRESENT (!)"
+            },
+        );
+        print_row(
+            "TCON switch configurations",
+            "(568 TCONs)",
+            &rep_p.result.tcon_switches.to_string(),
+        );
+        println!(
+            "\nfabrics: conventional {0}x{0}, parameterized {1}x{1} logic blocks",
+            rep_c.arch.size, rep_p.arch.size
+        );
+        print_probes("conventional router effort", &rep_c);
+        print_probes("parameterized router effort", &rep_p);
+        conv_flow.rep = Some(rep_c);
+        par_flow.rep = Some(rep_p);
+    } else {
         println!("\n(--skip-par: place & route columns skipped)");
-        return;
     }
 
-    println!("\nPlace & route (TPLACE + TROUTE, min channel width search) ...");
-    let opts = ParOptions::default();
-    let nl_c = par::extract(&conv);
-    let nl_p = par::extract(&par);
-    let t2 = std::time::Instant::now();
-    let rep_c = par::full_par(&nl_c, &opts).expect("conventional PE routable");
-    println!("conventional PaR done in {:?}", t2.elapsed());
-    let t3 = std::time::Instant::now();
-    let rep_p = par::full_par(&nl_p, &opts).expect("parameterized PE routable");
-    println!("parameterized PaR done in {:?}", t3.elapsed());
-
-    print_header("Table I — PaR results of a PE");
-    print_row(
-        "wirelength, conventional",
-        "27242",
-        &rep_c.result.wirelength.to_string(),
-    );
-    print_row(
-        "wirelength, parameterized",
-        "16824",
-        &rep_p.result.wirelength.to_string(),
-    );
-    print_row(
-        "WL reduction",
-        "~31%",
-        &format!(
-            "{:.1}%",
-            reduction(rep_c.result.wirelength, rep_p.result.wirelength)
-        ),
-    );
-    print_row(
-        "min channel width, conventional",
-        "10",
-        &rep_c.min_channel_width.to_string(),
-    );
-    print_row(
-        "min channel width, parameterized",
-        "10",
-        &rep_p.min_channel_width.to_string(),
-    );
-    print_row(
-        "CW overhead from TCONs",
-        "none",
-        if rep_p.min_channel_width <= rep_c.min_channel_width {
-            "none"
-        } else {
-            "PRESENT (!)"
-        },
-    );
-    print_row(
-        "TCON switch configurations",
-        "(568 TCONs)",
-        &rep_p.result.tcon_switches.to_string(),
-    );
-    println!(
-        "\nfabrics: conventional {0}x{0}, parameterized {1}x{1} logic blocks",
-        rep_c.arch.size, rep_p.arch.size
-    );
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"bench\": \"table1\",\n  \"smoke\": {smoke},\n  \"format\": {{\"we\": {}, \"wf\": {}}},\n  \"flows\": {{\n    \"conventional\": {},\n    \"parameterized\": {}\n  }}\n}}\n",
+            fmt.we,
+            fmt.wf,
+            json_flow(&conv_flow),
+            json_flow(&par_flow)
+        );
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+        std::fs::write(&path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
 }

@@ -43,7 +43,8 @@ fn every_reexport_carries_the_full_flow() {
     drop(spec);
 
     // par + fabric: place and route a reduced-format PE (fast enough for
-    // the unoptimized test profile) on a sized fabric.
+    // the unoptimized test profile) on a sized fabric, driven through the
+    // ParEngine facade.
     let small = VirtualPe::build(
         VirtualPeConfig { format: FpFormat::new(3, 4), hops: 2 },
         true,
@@ -52,11 +53,14 @@ fn every_reexport_carries_the_full_flow() {
         mapping::map_parameterized(&logic::opt::sweep(&small.aig), mapping::MapOptions::default());
     let netlist = par::extract(&small_design);
     let arch = fabric::FabricArch::sized_for(netlist.logic_count(), netlist.io_count());
-    let placement = par::place(&netlist, arch, 7);
+    let engine = par::ParEngine::new(par::EngineOptions::default());
+    let placement = engine.place(&netlist, arch);
     let graph = fabric::RouteGraph::build(arch, 20);
-    let routed = par::route(&netlist, &placement, &graph, par::RouteOptions::default())
+    let routed = engine
+        .route(&netlist, &placement, &graph)
         .expect("reduced-format PE must route at a generous channel width");
     assert!(routed.wirelength > 0);
+    assert!(routed.ripups >= netlist.nets.len());
 
     // vcgra sim: one sample through the value-level PE model...
     let x = FpValue::from_f64(2.0, FpFormat::PAPER);
