@@ -13,7 +13,7 @@ use crate::engine::{EngineOptions, ParEngine};
 use crate::netlist::ParNetlist;
 use crate::tplace::Placement;
 use crate::troute::{audit, route, RouteOptions, RouteResult};
-use crate::warm::WidthProbe;
+use crate::warm::{WidthCertificate, WidthProbe};
 use fabric::arch::FabricArch;
 use fabric::rrg::RouteGraph;
 
@@ -62,6 +62,10 @@ pub struct ParReport {
     /// Width-search effort log: every probe with its wall time,
     /// iteration and rip-up counts, and warm-start coverage.
     pub probes: Vec<WidthProbe>,
+    /// Why `min_channel_width` is trusted to be minimal (cold
+    /// confirmation of the final `W−1` failure, sound lower bound, or
+    /// the search floor).
+    pub certificate: WidthCertificate,
     /// Wall time of placement.
     pub place_seconds: f64,
     /// Wall time of the whole width search.

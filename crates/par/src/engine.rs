@@ -45,6 +45,12 @@ pub struct EngineOptions {
     /// Cold linear width scan instead of doubling + binary search (the
     /// reference the equivalence tests compare against).
     pub linear_scan: bool,
+    /// After the warm binary search concludes, re-probe the final `W−1`
+    /// failure **cold** so the reported minimum carries a proof-grade
+    /// certificate (warm verdicts are de-biased but still heuristic).
+    /// Costs at most one extra failing probe, bounded by the stall
+    /// detector like any other hopeless width.
+    pub certify: bool,
     /// Width search floor.
     pub min_width: usize,
     /// Width search ceiling; failing here aborts.
@@ -61,6 +67,7 @@ impl Default for EngineOptions {
             bbox: true,
             warm_start: true,
             linear_scan: false,
+            certify: true,
             // The paper's designs need ~10 tracks; probing widths far below
             // that wastes PathFinder iterations on hopeless congestion.
             min_width: 6,
@@ -144,6 +151,7 @@ impl ParEngine {
             min_channel_width: search.min_width,
             result: search.result,
             probes: search.probes,
+            certificate: search.certificate,
             place_seconds,
             route_seconds,
         })

@@ -35,4 +35,6 @@ pub use engine::{EngineOptions, ParEngine};
 pub use netlist::{extract, Block, BlockKind, Net, ParNetlist};
 pub use tplace::{place, place_multi_seed, place_multi_seed_on, Placement};
 pub use troute::{route, RouteOptions, RouteResult};
-pub use warm::{channel_width_estimate, channel_width_lower_bound, WidthProbe, WidthSearch};
+pub use warm::{
+    channel_width_estimate, channel_width_lower_bound, WidthCertificate, WidthProbe, WidthSearch,
+};

@@ -36,6 +36,46 @@ pub struct WidthProbe {
     pub ripups: usize,
     /// Nets whose routes were carried over from the warm-start seed.
     pub warm_nets: usize,
+    /// True for the certification re-probe of the final `W−1` failure
+    /// (always cold: `warm_nets == 0`).
+    pub confirm: bool,
+}
+
+/// Why the reported minimum is trusted (see [`WidthSearch::certificate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WidthCertificate {
+    /// Certification was disabled (`EngineOptions::certify == false`).
+    /// A cold linear scan never reports this: every verdict below its
+    /// minimum is already cold, so it self-certifies as
+    /// [`WidthCertificate::ColdFailure`] or [`WidthCertificate::Floor`].
+    Uncertified,
+    /// `W` equals the search floor (`EngineOptions::min_width`): nothing
+    /// below was in scope, so there is no `W−1` verdict to confirm.
+    Floor,
+    /// `W−1` lies below the sound placement-geometry lower bound — no
+    /// router run can succeed there, by construction.
+    LowerBound,
+    /// A **cold** probe (no warm-start seed whose bias could fabricate a
+    /// failure) failed at `W−1` — either during the search itself or as
+    /// the certification re-probe.
+    ColdFailure,
+}
+
+impl WidthCertificate {
+    /// Short stable name (for tables and JSON records).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WidthCertificate::Uncertified => "uncertified",
+            WidthCertificate::Floor => "floor",
+            WidthCertificate::LowerBound => "lower-bound",
+            WidthCertificate::ColdFailure => "cold-failure",
+        }
+    }
+
+    /// True when the minimum carries any proof (not `Uncertified`).
+    pub fn is_certified(&self) -> bool {
+        !matches!(self, WidthCertificate::Uncertified)
+    }
 }
 
 /// Outcome of the width search: the minimum width, the routing there, and
@@ -49,6 +89,14 @@ pub struct WidthSearch {
     pub probes: Vec<WidthProbe>,
     /// The placement-derived lower bound the search started from.
     pub lower_bound: usize,
+    /// Proof-grade backing for "`min_width` is minimal": the warm binary
+    /// search takes de-biased warm verdicts at face value, so the final
+    /// `W−1` failure is re-probed **cold** after the search concludes
+    /// (unless the floor or the sound lower bound already certifies it).
+    /// If — against the de-bias design — the cold re-probe *succeeds*,
+    /// the search adopts the narrower result and keeps certifying
+    /// downward, so the reported minimum is always the certified one.
+    pub certificate: WidthCertificate,
 }
 
 /// A sound lower bound on the minimum channel width, from placement
@@ -183,6 +231,7 @@ pub fn channel_width_estimate(
     ((peak * 1.6).ceil() as usize).max(2)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn probe(
     netlist: &ParNetlist,
     placement: &Placement,
@@ -190,6 +239,7 @@ fn probe(
     opts: &EngineOptions,
     knobs: Knobs,
     seed: Option<Vec<Vec<u32>>>,
+    confirm: bool,
     probes: &mut Vec<WidthProbe>,
 ) -> Option<RouteResult> {
     let warm_nets = seed
@@ -197,7 +247,12 @@ fn probe(
         .map(|s| s.iter().filter(|t| !t.is_empty()).count())
         .unwrap_or(0);
     if crate::incr::verbose() {
-        eprintln!("  probe width {} ({} warm nets) ...", graph.width, warm_nets);
+        eprintln!(
+            "  probe width {} ({} warm nets{}) ...",
+            graph.width,
+            warm_nets,
+            if confirm { ", cold confirmation" } else { "" }
+        );
     }
     let t0 = std::time::Instant::now();
     let r = route_core(netlist, placement, graph, opts.route, knobs, seed);
@@ -216,7 +271,15 @@ fn probe(
             ripups
         );
     }
-    probes.push(WidthProbe { width: graph.width, success, seconds, iterations, ripups, warm_nets });
+    probes.push(WidthProbe {
+        width: graph.width,
+        success,
+        seconds,
+        iterations,
+        ripups,
+        warm_nets,
+        confirm,
+    });
     r.ok()
 }
 
@@ -288,11 +351,25 @@ pub(crate) fn search(
     let mut probes = Vec::new();
 
     if opts.linear_scan {
-        // Cold reference scan: no bound, no warm starts.
+        // Cold reference scan: no bound, no warm starts. Every verdict
+        // below the minimum is cold already, so the scan certifies
+        // itself.
         for w in opts.min_width..=opts.max_width {
             let graph = RouteGraph::build(arch, w);
-            if let Some(r) = probe(netlist, placement, &graph, opts, knobs, None, &mut probes) {
-                return Some(WidthSearch { min_width: w, result: r, probes, lower_bound: opts.min_width });
+            if let Some(r) = probe(netlist, placement, &graph, opts, knobs, None, false, &mut probes)
+            {
+                let certificate = if w > opts.min_width {
+                    WidthCertificate::ColdFailure
+                } else {
+                    WidthCertificate::Floor
+                };
+                return Some(WidthSearch {
+                    min_width: w,
+                    result: r,
+                    probes,
+                    lower_bound: opts.min_width,
+                    certificate,
+                });
             }
         }
         return None;
@@ -314,7 +391,7 @@ pub(crate) fn search(
     let (mut best_w, mut best_r, mut best_g);
     loop {
         let graph = RouteGraph::build(arch, hi);
-        match probe(netlist, placement, &graph, opts, knobs, None, &mut probes) {
+        match probe(netlist, placement, &graph, opts, knobs, None, false, &mut probes) {
             Some(r) => {
                 (best_w, best_r, best_g) = (hi, r, graph);
                 break;
@@ -337,12 +414,49 @@ pub(crate) fn search(
         let seed = opts
             .warm_start
             .then(|| translate_trees(netlist, placement, &best_g, &graph, &best_r.trees));
-        match probe(netlist, placement, &graph, opts, knobs, seed, &mut probes) {
+        match probe(netlist, placement, &graph, opts, knobs, seed, false, &mut probes) {
             Some(r) => {
                 (best_w, best_r, best_g) = (mid, r, graph);
             }
             None => lo = mid + 1,
         }
     }
-    Some(WidthSearch { min_width: best_w, result: best_r, probes, lower_bound })
+
+    // Cold confirmation of the final W−1 failure: the binary phase may
+    // have taken a *warm* probe's failure at face value (de-bias makes a
+    // fabricated failure unlikely, not impossible). Re-probe cold unless
+    // the floor, the sound lower bound, or an existing cold failure
+    // already certifies the verdict. Should the cold probe succeed, adopt
+    // the narrower result and keep certifying downward — the reported
+    // minimum is always the certified one.
+    let mut certificate = WidthCertificate::Uncertified;
+    if opts.certify {
+        loop {
+            if best_w <= opts.min_width {
+                certificate = WidthCertificate::Floor;
+                break;
+            }
+            let fail_w = best_w - 1;
+            if fail_w < lower_bound {
+                certificate = WidthCertificate::LowerBound;
+                break;
+            }
+            if probes.iter().any(|p| p.width == fail_w && !p.success && p.warm_nets == 0) {
+                certificate = WidthCertificate::ColdFailure;
+                break;
+            }
+            let graph = RouteGraph::build(arch, fail_w);
+            match probe(netlist, placement, &graph, opts, knobs, None, true, &mut probes) {
+                None => {
+                    certificate = WidthCertificate::ColdFailure;
+                    break;
+                }
+                Some(r) => {
+                    best_w = fail_w;
+                    best_r = r;
+                }
+            }
+        }
+    }
+    Some(WidthSearch { min_width: best_w, result: best_r, probes, lower_bound, certificate })
 }

@@ -109,6 +109,66 @@ fn engine_results_pass_the_audit() {
     }
 }
 
+/// The proof-grade contract (ROADMAP "cold confirmation" item): with
+/// `certify` on, every reported minimum carries a certificate — the final
+/// `W−1` verdict is a cold failure, the sound lower bound, or the search
+/// floor — and certification never changes the minimum the heuristic
+/// search would have reported (it can only *lower* it, if a warm probe
+/// ever fabricated a failure; on these designs it must not).
+#[test]
+fn certified_minimum_matches_the_reported_minimum() {
+    for (bits, parameterized) in [(4, false), (4, true), (5, true)] {
+        let nl = mul_netlist(bits, parameterized);
+        let arch = fabric::FabricArch::sized_for(nl.logic_count(), nl.io_count());
+        let engine = ParEngine::new(EngineOptions::default());
+        let placement = engine.place(&nl, arch);
+
+        let certified = engine
+            .min_channel_width(&nl, &placement, arch)
+            .expect("certified search finds a width");
+        assert!(
+            certified.certificate.is_certified(),
+            "default search must certify (bits={bits}, par={parameterized}), got {:?}",
+            certified.certificate
+        );
+        // Any cold-failure certificate must be backed by an actual cold
+        // failing probe at exactly W−1.
+        if certified.certificate == par::WidthCertificate::ColdFailure {
+            assert!(
+                certified
+                    .probes
+                    .iter()
+                    .any(|p| p.width == certified.min_width - 1
+                        && !p.success
+                        && p.warm_nets == 0),
+                "cold-failure certificate without a cold probe at W-1"
+            );
+        }
+
+        let uncertified = ParEngine::new(EngineOptions { certify: false, ..Default::default() })
+            .min_channel_width(&nl, &placement, arch)
+            .expect("uncertified search finds a width");
+        assert_eq!(uncertified.certificate, par::WidthCertificate::Uncertified);
+        assert_eq!(
+            certified.min_width, uncertified.min_width,
+            "certification must confirm, not change, the minimum \
+             (bits={bits}, par={parameterized})"
+        );
+
+        // And both agree with the cold linear reference, which certifies
+        // itself (every verdict below the minimum is already cold).
+        let reference = ParEngine::new(EngineOptions {
+            linear_scan: true,
+            warm_start: false,
+            ..Default::default()
+        })
+        .min_channel_width(&nl, &placement, arch)
+        .expect("linear scan finds a width");
+        assert!(reference.certificate.is_certified());
+        assert_eq!(certified.min_width, reference.min_width);
+    }
+}
+
 #[test]
 fn warm_start_does_not_change_the_reported_minimum() {
     let nl = mul_netlist(5, true);

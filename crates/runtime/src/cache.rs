@@ -105,6 +105,19 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl CacheStats {
+    /// Warm-hit rate: hits over all lookups (0 when nothing was looked
+    /// up). This is the number cache-aware placement exists to raise.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// LRU cache of compiled configurations.
 pub struct ConfigCache {
     capacity: usize,
@@ -118,6 +131,15 @@ impl ConfigCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1);
         ConfigCache { capacity, tick: 0, entries: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    /// True when `key` is cached, **without** touching the LRU recency or
+    /// the hit/miss counters. Cache-aware placement probes candidate
+    /// region shapes with this before committing to a grid; counting
+    /// those probes as hits would inflate the very statistic the policy
+    /// is judged by.
+    pub fn contains(&self, key: &ConfigKey) -> bool {
+        self.entries.contains_key(key)
     }
 
     /// Looks a configuration up, refreshing its recency on a hit.

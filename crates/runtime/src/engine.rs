@@ -27,6 +27,10 @@ use crate::pool::TenantId;
 pub struct Job<'a> {
     /// The tenant being served.
     pub tenant: TenantId,
+    /// Relocation epoch of the tenant's lease at submission time (how
+    /// many times compaction has moved the band) — carried into the
+    /// [`TenantRun`] so callers can correlate results with relocations.
+    pub epoch: u64,
     /// Its application graph (current parameters).
     pub graph: &'a AppGraph,
     /// Its placed configuration (settings match the graph).
@@ -53,6 +57,8 @@ pub struct BandWork<'a> {
 pub struct TenantRun {
     /// The tenant.
     pub tenant: TenantId,
+    /// Relocation epoch the tenant ran at (see [`Job::epoch`]).
+    pub epoch: u64,
     /// One output vector per input vector, in order.
     pub outputs: Vec<Vec<FpValue>>,
     /// Input vectors processed.
@@ -108,6 +114,7 @@ pub fn run_bands(bands: Vec<BandWork<'_>>, workers: usize, batch_size: usize) ->
                     let exec_time = t0.elapsed();
                     runs.push(TenantRun {
                         tenant: job.tenant,
+                        epoch: job.epoch,
                         items: outputs.len(),
                         outputs,
                         batches,
@@ -168,6 +175,7 @@ mod tests {
                 switch_cost: Duration::ZERO,
                 jobs: vec![Job {
                     tenant: t as TenantId,
+                    epoch: 0,
                     graph,
                     mapping,
                     inputs: ins.clone(),
@@ -200,7 +208,7 @@ mod tests {
             swap_in_first: false,
             switch_cost: cost,
             jobs: (0..3)
-                .map(|t| Job { tenant: t, graph: &app, mapping: &mapping, inputs: inputs.clone() })
+                .map(|t| Job { tenant: t, epoch: 0, graph: &app, mapping: &mapping, inputs: inputs.clone() })
                 .collect(),
         };
         let runs = run_bands(vec![band], 2, 8);
@@ -215,7 +223,7 @@ mod tests {
             shared: true,
             swap_in_first: true,
             switch_cost: cost,
-            jobs: vec![Job { tenant: 0, graph: &app, mapping: &mapping, inputs }],
+            jobs: vec![Job { tenant: 0, epoch: 0, graph: &app, mapping: &mapping, inputs }],
         };
         let runs = run_bands(vec![band], 1, 8);
         assert_eq!(runs[0].context_switches, 1, "resident tenant differs");

@@ -47,6 +47,16 @@ pub fn fir(format: FpFormat, taps: &[f64]) -> Workload {
     )
 }
 
+/// FIR whose `taps` coefficients are drawn from a seeded deterministic
+/// stream (2·taps−1 nodes, so row demand is easy to steer). The
+/// scheduler tests and the `serve` driver share this one definition so
+/// their workloads can never drift apart.
+pub fn fir_seeded(format: FpFormat, taps: usize, seed: u64) -> Workload {
+    let mut rng = logic::SplitMix64::new(seed);
+    let coeffs: Vec<f64> = (0..taps).map(|_| (rng.unit_f64() - 0.5) * 2.0).collect();
+    fir(format, &coeffs)
+}
+
 /// Separable 2-D stencil over a `col.len() × row.len()` window.
 ///
 /// External input `r * row.len() + c` is window pixel `(r, c)`. Each window

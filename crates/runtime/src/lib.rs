@@ -23,9 +23,17 @@
 //!   settings-register plane (column stripes share frames). Costs are
 //!   anchored on the paper's 251 ms-per-PE HWICAP estimate.
 //! * [`pool`] — the **grid-pool scheduler**: tenants lease full-width row
-//!   bands (first-fit packing of small graphs onto shared grids); when
-//!   every row is taken, admission time-multiplexes the least-crowded
-//!   band, and each context switch is charged a full-region reconfig.
+//!   bands (first-fit packing of small graphs onto shared grids). When a
+//!   grid's free rows are fragmented, **band compaction** slides bands
+//!   down (reported as [`pool::Relocation`]s, replayed and charged by the
+//!   runtime; leases carry a relocation `epoch`); when every row is
+//!   taken, admission time-multiplexes the least-crowded band, and each
+//!   context switch is charged a full-region reconfig; when nothing is
+//!   shareable either, the runtime parks the submission in a FIFO
+//!   **admission queue** drained on release. Placement is
+//!   **cache-aware**: among feasible grids the runtime prefers one whose
+//!   region shape is already warm in the configuration cache, so a
+//!   mixed-width pool compiles each structure once, not once per width.
 //! * [`engine`] — **batched streaming execution**: bands run on parallel
 //!   worker threads, shared bands serialize their slots, every input
 //!   vector streams through `vcgra::sim::run_mapped` in bit-exact FloPoCo
@@ -59,9 +67,9 @@ pub mod runtime;
 pub use cache::{CacheStats, ConfigCache, ConfigKey};
 pub use engine::TenantRun;
 pub use kernels::Workload;
-pub use pool::{GridPool, Lease, PoolError, TenantId};
+pub use pool::{BandInfo, GridPool, Lease, PoolError, Relocation, TenantId};
 pub use pricer::{PeChange, SettingsPricer, SwapReport};
 pub use runtime::{
-    Admission, Ledger, Refresh, Runtime, RuntimeConfig, RuntimeError, StreamRequest, Tenant,
-    TenantStats,
+    Admission, Admitted, Ledger, Queued, Refresh, Runtime, RuntimeConfig, RuntimeError,
+    StreamRequest, Tenant, TenantStats,
 };

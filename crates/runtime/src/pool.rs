@@ -4,15 +4,33 @@
 //! PEs for its graph; the scheduler carves a **band** — a horizontal
 //! stripe of consecutive rows spanning the grid's full width — out of the
 //! first grid with room (first-fit packing, so several small applications
-//! share one grid). When every row of every grid is taken, admission
-//! falls back to **time-multiplexing**: the new tenant shares the
-//! smallest already-allocated band that is big enough, and the execution
-//! engine serializes the band's tenants, charging a full-region
-//! micro-reconfiguration per context switch.
+//! share one grid). The runtime layers three admission upgrades on top:
+//!
+//! * **placement candidates** — [`GridPool::dedicated_candidates`] lists
+//!   every grid that could host a dedicated band *right now*, so the
+//!   runtime can pick the grid whose region shape is already warm in the
+//!   configuration cache instead of blindly taking the first fit;
+//! * **band compaction** — when a tenant needs N contiguous rows and N
+//!   rows are free but fragmented, [`GridPool::allocate_with`] slides the
+//!   grid's bands down to row 0 (preserving their order), coalescing the
+//!   free rows into one run. Every move is reported as a [`Relocation`]
+//!   so the runtime can replay the displaced tenants' cached
+//!   configurations onto the translated bands and charge the move as
+//!   reconfiguration time;
+//! * **time-multiplexing** — when no dedicated band exists even after
+//!   compaction, the new tenant shares the smallest already-allocated
+//!   band that is big enough, and the execution engine serializes the
+//!   band's tenants, charging a full-region micro-reconfiguration per
+//!   context switch.
 //!
 //! Bands span full grid width because the VCGRA routing channels run
 //! between adjacent PEs: a full-width stripe guarantees a tenant's routes
-//! can never cross another tenant's region.
+//! can never cross another tenant's region. That is also what makes
+//! compaction safe: a band's placement is region-local, so relocating it
+//! is a pure row translation (the same translation
+//! `RouteGraph::translate_from` does across route-graph generations in
+//! the par-engine) — the placement and routes survive verbatim, only the
+//! physical row offset and the settings-frame addresses change.
 
 use vcgra::VcgraArch;
 
@@ -32,6 +50,10 @@ pub struct Lease {
     pub cols: usize,
     /// True when the band is shared with other tenants (time-multiplexed).
     pub shared: bool,
+    /// Relocation epoch: how many times this lease has been moved by
+    /// band compaction. A fresh lease is epoch 0; the runtime bumps it
+    /// each time the band is slid to a new `row0`.
+    pub epoch: u64,
 }
 
 impl Lease {
@@ -45,6 +67,42 @@ impl Lease {
     pub fn pe_count(&self) -> usize {
         self.rows * self.cols
     }
+
+    /// The lease translated to a new band start (what compaction does):
+    /// same shape, same grid, new physical rows, epoch advanced.
+    pub fn translated(&self, new_row0: usize) -> Lease {
+        Lease { row0: new_row0, epoch: self.epoch + 1, ..*self }
+    }
+}
+
+/// One band moved by compaction. The runtime uses this to translate the
+/// displaced tenants' leases and to charge the configuration replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relocation {
+    /// Grid the band lives on.
+    pub grid: usize,
+    /// Row the band started at before the move.
+    pub old_row0: usize,
+    /// Row the band starts at now.
+    pub new_row0: usize,
+    /// Rows in the band.
+    pub rows: usize,
+    /// Tenants on the band, in admission order.
+    pub tenants: Vec<TenantId>,
+}
+
+/// Read-only view of one allocated band (for invariant checks and
+/// reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandInfo {
+    /// Grid the band lives on.
+    pub grid: usize,
+    /// First physical row.
+    pub row0: usize,
+    /// Rows in the band.
+    pub rows: usize,
+    /// Tenants on the band, in admission order.
+    pub tenants: Vec<TenantId>,
 }
 
 #[derive(Debug)]
@@ -76,6 +134,34 @@ impl Grid {
         }
         None
     }
+
+    /// Rows not covered by any band.
+    fn free_rows(&self) -> usize {
+        self.arch.rows - self.bands.iter().map(|b| b.rows).sum::<usize>()
+    }
+
+    /// Slides every band down so they pack from row 0 in their current
+    /// row order; all free rows coalesce at the top. Returns the bands
+    /// that actually moved.
+    fn compact(&mut self, grid_index: usize) -> Vec<Relocation> {
+        self.bands.sort_by_key(|b| b.row0);
+        let mut next = 0;
+        let mut moved = Vec::new();
+        for b in &mut self.bands {
+            if b.row0 != next {
+                moved.push(Relocation {
+                    grid: grid_index,
+                    old_row0: b.row0,
+                    new_row0: next,
+                    rows: b.rows,
+                    tenants: b.tenants.clone(),
+                });
+                b.row0 = next;
+            }
+            next += b.rows;
+        }
+        moved
+    }
 }
 
 /// Pool allocation failure.
@@ -90,7 +176,7 @@ pub enum PoolError {
     },
     /// The graph would fit an empty grid, but every band big enough is
     /// already carved up by smaller tenants — admission must wait for a
-    /// release (this runtime does not queue).
+    /// release (the runtime queues the request when its queue is on).
     Oversubscribed {
         /// PEs the application needs.
         needed: usize,
@@ -140,6 +226,27 @@ impl GridPool {
         self.grids.iter().map(|g| g.arch).collect()
     }
 
+    /// Rows not covered by any band on one grid.
+    pub fn free_rows(&self, grid: usize) -> usize {
+        self.grids[grid].free_rows()
+    }
+
+    /// Every allocated band, grids in index order, bands in row order.
+    pub fn bands(&self) -> Vec<BandInfo> {
+        let mut out = Vec::new();
+        for (gi, grid) in self.grids.iter().enumerate() {
+            let mut rows: Vec<&Band> = grid.bands.iter().collect();
+            rows.sort_by_key(|b| b.row0);
+            out.extend(rows.into_iter().map(|b| BandInfo {
+                grid: gi,
+                row0: b.row0,
+                rows: b.rows,
+                tenants: b.tenants.clone(),
+            }));
+        }
+        out
+    }
+
     /// Rows a `demand`-PE application needs on a `cols`-wide grid
     /// (regions are at least 2×2 so they are valid [`VcgraArch`]s).
     /// Admission compiles against exactly this region, so band sizing and
@@ -148,13 +255,65 @@ impl GridPool {
         demand.div_ceil(cols).max(2)
     }
 
-    /// Places a tenant needing `demand` PEs.
-    ///
-    /// Dedicated first-fit band if any grid has room; otherwise the
-    /// least-crowded big-enough existing band, time-multiplexed.
-    pub fn allocate(&mut self, tenant: TenantId, demand: usize) -> Result<Lease, PoolError> {
+    /// Grids (in index order) that could host a *dedicated* band for
+    /// `demand` PEs right now, without compaction. The runtime uses this
+    /// list for cache-aware placement: among feasible grids, prefer one
+    /// whose region shape is already warm in the configuration cache.
+    pub fn dedicated_candidates(&self, demand: usize) -> Vec<usize> {
+        self.grids
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| {
+                let rows = Self::rows_needed(demand, g.arch.cols);
+                rows <= g.arch.rows && g.find_free(rows).is_some()
+            })
+            .map(|(gi, _)| gi)
+            .collect()
+    }
+
+    /// Places a dedicated band for `tenant` on a specific grid. Returns
+    /// `None` when the grid has no contiguous run of the needed rows (use
+    /// [`GridPool::dedicated_candidates`] first).
+    pub fn allocate_on(&mut self, grid: usize, tenant: TenantId, demand: usize) -> Option<Lease> {
         assert!(demand > 0);
-        // Dedicated band, first fit.
+        let g = &mut self.grids[grid];
+        let rows = Self::rows_needed(demand, g.arch.cols);
+        if rows > g.arch.rows {
+            return None;
+        }
+        let row0 = g.find_free(rows)?;
+        g.bands.push(Band { row0, rows, tenants: vec![tenant] });
+        Some(Lease { grid, row0, rows, cols: g.arch.cols, shared: false, epoch: 0 })
+    }
+
+    /// Places a tenant needing `demand` PEs: dedicated first-fit band if
+    /// any grid has room; otherwise the least-crowded big-enough existing
+    /// band, time-multiplexed. Never compacts — see
+    /// [`GridPool::allocate_with`].
+    pub fn allocate(&mut self, tenant: TenantId, demand: usize) -> Result<Lease, PoolError> {
+        self.allocate_with(tenant, demand, false, true).map(|(lease, _)| lease)
+    }
+
+    /// Places a tenant needing `demand` PEs, with band compaction as a
+    /// middle step when `compact` is set:
+    ///
+    /// 1. dedicated first-fit band on any grid;
+    /// 2. (`compact`) first grid whose *total* free rows suffice: slide
+    ///    its bands down to coalesce the free rows, then allocate the
+    ///    dedicated band — the moves come back as [`Relocation`]s;
+    /// 3. (`share`) time-multiplex the least-crowded big-enough existing
+    ///    band — a runtime that prefers queueing latency over
+    ///    context-switch cost passes `share: false` to skip this step;
+    /// 4. [`PoolError::Oversubscribed`] / [`PoolError::TooBig`].
+    pub fn allocate_with(
+        &mut self,
+        tenant: TenantId,
+        demand: usize,
+        compact: bool,
+        share: bool,
+    ) -> Result<(Lease, Vec<Relocation>), PoolError> {
+        assert!(demand > 0);
+        // 1. Dedicated band, first fit.
         for (gi, grid) in self.grids.iter_mut().enumerate() {
             let rows = Self::rows_needed(demand, grid.arch.cols);
             if rows > grid.arch.rows {
@@ -162,26 +321,46 @@ impl GridPool {
             }
             if let Some(row0) = grid.find_free(rows) {
                 grid.bands.push(Band { row0, rows, tenants: vec![tenant] });
-                return Ok(Lease { grid: gi, row0, rows, cols: grid.arch.cols, shared: false });
+                let lease =
+                    Lease { grid: gi, row0, rows, cols: grid.arch.cols, shared: false, epoch: 0 };
+                return Ok((lease, Vec::new()));
             }
         }
-        // Time-multiplex: least-crowded band with enough PEs.
-        let mut best: Option<(usize, usize)> = None; // (grid, band index)
-        for (gi, grid) in self.grids.iter().enumerate() {
-            let rows = Self::rows_needed(demand, grid.arch.cols);
-            for (bi, band) in grid.bands.iter().enumerate() {
-                if band.rows < rows {
+        // 2. Compaction: the free rows exist, just not contiguously.
+        if compact {
+            for gi in 0..self.grids.len() {
+                let rows = Self::rows_needed(demand, self.grids[gi].arch.cols);
+                if rows > self.grids[gi].arch.rows || self.grids[gi].free_rows() < rows {
                     continue;
                 }
-                let better = match best {
-                    None => true,
-                    Some((bg, bb)) => {
-                        let cur = &self.grids[bg].bands[bb];
-                        (band.tenants.len(), band.rows) < (cur.tenants.len(), cur.rows)
+                let relocations = self.grids[gi].compact(gi);
+                let grid = &mut self.grids[gi];
+                let row0 = grid.find_free(rows).expect("compaction coalesces all free rows");
+                grid.bands.push(Band { row0, rows, tenants: vec![tenant] });
+                let lease =
+                    Lease { grid: gi, row0, rows, cols: grid.arch.cols, shared: false, epoch: 0 };
+                return Ok((lease, relocations));
+            }
+        }
+        // 3. Time-multiplex: least-crowded band with enough PEs.
+        let mut best: Option<(usize, usize)> = None; // (grid, band index)
+        if share {
+            for (gi, grid) in self.grids.iter().enumerate() {
+                let rows = Self::rows_needed(demand, grid.arch.cols);
+                for (bi, band) in grid.bands.iter().enumerate() {
+                    if band.rows < rows {
+                        continue;
                     }
-                };
-                if better {
-                    best = Some((gi, bi));
+                    let better = match best {
+                        None => true,
+                        Some((bg, bb)) => {
+                            let cur = &self.grids[bg].bands[bb];
+                            (band.tenants.len(), band.rows) < (cur.tenants.len(), cur.rows)
+                        }
+                    };
+                    if better {
+                        best = Some((gi, bi));
+                    }
                 }
             }
         }
@@ -189,20 +368,44 @@ impl GridPool {
             let cols = self.grids[gi].arch.cols;
             let band = &mut self.grids[gi].bands[bi];
             band.tenants.push(tenant);
-            return Ok(Lease { grid: gi, row0: band.row0, rows: band.rows, cols, shared: true });
+            let lease = Lease {
+                grid: gi,
+                row0: band.row0,
+                rows: band.rows,
+                cols,
+                shared: true,
+                epoch: 0,
+            };
+            return Ok((lease, Vec::new()));
         }
-        // Nothing free, nothing shareable: distinguish "never fits" from
-        // "fits an empty grid, come back after a release".
-        let fits_somewhere = self
+        // 4. Nothing free, nothing shareable: distinguish "never fits"
+        // from "fits an empty grid, come back after a release".
+        self.fits_any_grid(demand)?;
+        Err(PoolError::Oversubscribed { needed: demand })
+    }
+
+    /// `Ok` when `demand` would fit some *empty* grid of the pool —
+    /// i.e. admission is a matter of waiting, not impossibility.
+    /// [`PoolError::TooBig`] otherwise. Touches no state; the runtime
+    /// uses it to reject impossible submissions synchronously instead of
+    /// parking them in the queue.
+    pub fn fits_any_grid(&self, demand: usize) -> Result<(), PoolError> {
+        let fits = self
             .grids
             .iter()
             .any(|g| Self::rows_needed(demand, g.arch.cols) <= g.arch.rows);
-        if fits_somewhere {
-            Err(PoolError::Oversubscribed { needed: demand })
+        if fits {
+            Ok(())
         } else {
             let largest = self.grids.iter().map(|g| g.arch.pe_count()).max().unwrap_or(0);
             Err(PoolError::TooBig { needed: demand, largest })
         }
+    }
+
+    /// Compacts one grid unconditionally (test/maintenance hook): slides
+    /// its bands down to row 0 preserving order, returns the moves.
+    pub fn compact_grid(&mut self, grid: usize) -> Vec<Relocation> {
+        self.grids[grid].compact(grid)
     }
 
     /// Releases a tenant's slot; empty bands are freed. Returns true if
@@ -230,7 +433,10 @@ impl GridPool {
             .unwrap_or_default()
     }
 
-    /// Fraction of pool rows currently leased.
+    /// Fraction of pool rows currently leased. A time-multiplexed band
+    /// counts its rows **once** no matter how many tenants share it — the
+    /// rows are a spatial resource; oversubscription shows up in the
+    /// context-switch ledger, not here (so utilization never exceeds 1).
     pub fn utilization(&self) -> f64 {
         let total: usize = self.grids.iter().map(|g| g.arch.rows).sum();
         let used: usize = self
@@ -258,6 +464,7 @@ mod tests {
         assert_eq!((a.grid, a.row0, a.rows), (0, 0, 2));
         assert_eq!((b.grid, b.row0, b.rows), (0, 2, 2));
         assert!(!a.shared && !b.shared);
+        assert_eq!((a.epoch, b.epoch), (0, 0));
         assert!(p.utilization() > 0.0);
     }
 
@@ -323,5 +530,105 @@ mod tests {
         assert_eq!(l.rows, 3);
         let arch = l.region_arch(p.channel_capacity());
         assert_eq!((arch.rows, arch.cols), (3, 4));
+    }
+
+    #[test]
+    fn compaction_admits_a_13_row_tenant_first_fit_refuses() {
+        // One 16-row grid. Occupy rows 0-5 and 6-8, release the first
+        // band: 13 rows are free (0-5 and 9-15) but the longest run is 7.
+        let mut p = GridPool::new(vec![VcgraArch::new(16, 4, 2)]);
+        p.allocate(1, 24).unwrap(); // rows 0-5
+        let mid = p.allocate(2, 12).unwrap(); // rows 6-8
+        assert_eq!((mid.row0, mid.rows), (6, 3));
+        assert!(p.release(1));
+        assert_eq!(p.free_rows(0), 13);
+
+        // 52 PEs → 13 rows of 4. First fit (and time-sharing: the only
+        // band has 3 rows) refuses.
+        assert_eq!(p.allocate(9, 52).unwrap_err(), PoolError::Oversubscribed { needed: 52 });
+
+        // With compaction the 3-row band slides to row 0 and the 13-row
+        // tenant admits at row 3.
+        let (lease, relocs) = p.allocate_with(9, 52, true, true).unwrap();
+        assert_eq!((lease.row0, lease.rows, lease.shared), (3, 13, false));
+        assert_eq!(relocs.len(), 1);
+        assert_eq!(
+            relocs[0],
+            Relocation { grid: 0, old_row0: 6, new_row0: 0, rows: 3, tenants: vec![2] }
+        );
+        // The moved band kept its tenants and its shape.
+        assert_eq!(p.band_tenants(0, 0), vec![2]);
+        assert_eq!(p.free_rows(0), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_band_order_and_reports_every_move() {
+        let mut p = GridPool::new(vec![VcgraArch::new(10, 4, 2)]);
+        for t in 0..5 {
+            p.allocate(t, 8).unwrap(); // five 2-row bands, rows 0..10
+        }
+        p.release(0); // rows 0-1 free
+        p.release(2); // rows 4-5 free
+        // 4 free rows, max run 2: a 3-row tenant needs compaction.
+        assert!(p.allocate(7, 12).is_err());
+        let (lease, relocs) = p.allocate_with(7, 12, true, true).unwrap();
+        assert_eq!((lease.row0, lease.rows), (6, 3));
+        // Bands 1, 3, 4 all moved down, order preserved.
+        assert_eq!(
+            relocs,
+            vec![
+                Relocation { grid: 0, old_row0: 2, new_row0: 0, rows: 2, tenants: vec![1] },
+                Relocation { grid: 0, old_row0: 6, new_row0: 2, rows: 2, tenants: vec![3] },
+                Relocation { grid: 0, old_row0: 8, new_row0: 4, rows: 2, tenants: vec![4] },
+            ]
+        );
+        let bands = p.bands();
+        assert_eq!(bands.len(), 4);
+        assert_eq!(bands[0].tenants, vec![1]);
+        assert_eq!(bands[1].tenants, vec![3]);
+        assert_eq!(bands[2].tenants, vec![4]);
+        assert_eq!(bands[3].tenants, vec![7]);
+    }
+
+    #[test]
+    fn dedicated_candidates_lists_every_feasible_grid() {
+        let mut p = pool();
+        assert_eq!(p.dedicated_candidates(8), vec![0, 1]);
+        // Fill grid 0 entirely.
+        p.allocate(1, 24).unwrap();
+        assert_eq!(p.dedicated_candidates(8), vec![1]);
+        // A 5-row demand only ever fits grid 0.
+        assert_eq!(p.dedicated_candidates(20), Vec::<usize>::new());
+        p.release(1);
+        assert_eq!(p.dedicated_candidates(20), vec![0]);
+        // allocate_on honors the pick.
+        let l = p.allocate_on(1, 9, 8).unwrap();
+        assert_eq!((l.grid, l.row0, l.rows), (1, 0, 2));
+        assert!(p.allocate_on(1, 10, 20).is_none(), "5 rows never fit grid 1");
+    }
+
+    #[test]
+    fn utilization_counts_time_shared_bands_once() {
+        let mut p = pool();
+        // Fill every row of both grids with dedicated bands.
+        for t in 0..5 {
+            assert!(!p.allocate(t, 8).unwrap().shared);
+        }
+        assert_eq!(p.utilization(), 1.0);
+        // Oversubscribe: three more tenants time-share existing bands.
+        // The rows are a spatial resource — utilization must stay exactly
+        // 1.0, not double-count the shared bands.
+        for t in 5..8 {
+            assert!(p.allocate(t, 8).unwrap().shared);
+        }
+        assert_eq!(p.utilization(), 1.0, "shared bands must count once");
+        // Releasing one sharer of a 2-tenant band frees no rows...
+        let shared = p.bands().into_iter().find(|b| b.tenants.len() > 1).unwrap();
+        assert!(p.release(*shared.tenants.last().unwrap()));
+        assert_eq!(p.utilization(), 1.0);
+        // ...releasing the last tenant of a band does.
+        let solo = p.bands().into_iter().find(|b| b.tenants.len() == 1).unwrap();
+        assert!(p.release(solo.tenants[0]));
+        assert!(p.utilization() < 1.0);
     }
 }

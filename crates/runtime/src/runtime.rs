@@ -2,26 +2,47 @@
 //!
 //! Lifecycle of an application:
 //!
-//! 1. **submit** — the scheduler leases a grid region, the configuration
-//!    cache is consulted with the (region, structure) key: a **miss** runs
-//!    the full `map_app` compile and caches the result; a **hit** clones
-//!    the cached placement and only rewrites the settings with the
-//!    tenant's own parameters (host-side fast path);
+//! 1. **submit** — the scheduler leases a grid region. Placement is
+//!    **cache-aware**: among the grids that could host a dedicated band,
+//!    the runtime prefers one whose (region, structure) key is already
+//!    warm in the configuration cache, so a mixed-width pool does not
+//!    recompile one structure once per grid width. If no grid has a
+//!    contiguous band but one has enough *fragmented* free rows, the
+//!    scheduler **compacts** — slides that grid's bands down and replays
+//!    the displaced tenants' configurations onto the translated bands
+//!    (charged to the ledger as reconfiguration time; each moved lease's
+//!    `epoch` advances). If even compaction cannot help and no band is
+//!    shareable, the request enters the FIFO **admission queue** and
+//!    `submit` returns [`Admission::Queued`] instead of an error.
+//!    Once a region is leased, the configuration cache is consulted with
+//!    the (region, structure) key: a **miss** runs the full `map_app`
+//!    compile and caches the result; a **hit** clones the cached
+//!    placement and only rewrites the settings with the tenant's own
+//!    parameters (host-side fast path);
 //! 2. **swap_params / set_counter** — parameter-only changes never
 //!    recompile: the pricer evaluates the PE's PPC functions and prices
 //!    exactly the dirty frames (micro-reconfiguration fast path);
 //! 3. **resubmit** — the structural decision point: same structure routes
 //!    to the swap path, a changed structure releases the lease and
-//!    recompiles;
+//!    recompiles (or queues, when the pool is full);
 //! 4. **run** — batched streams execute bands-in-parallel through the
 //!    engine; every item is bit-exact with `run_dataflow`;
-//! 5. **release** — frees the region for the next tenant.
+//! 5. **release** — frees the region and **drains the queue**: waiting
+//!    tenants admit in strict FIFO order until the head no longer fits.
+//!
+//! Queue discipline: admission order is strict FIFO. While the queue is
+//! non-empty every new submission joins the tail — a late small tenant
+//! never jumps an early large one (head-of-line blocking is the price of
+//! a deterministic, starvation-free order). [`Runtime::release`] returns
+//! the admissions the drain produced; [`Runtime::run`] also drains before
+//! executing so capacity freed out-of-band is never left idle.
 //!
 //! The [`Ledger`] accumulates both sides of the paper's Section V
 //! argument: measured host compile/execution time, and modeled
-//! configuration-port time anchored on the 251 ms-per-PE estimate.
+//! configuration-port time anchored on the 251 ms-per-PE estimate —
+//! including the replay cost of every compaction move.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use dcs::ReconfigInterface;
@@ -32,7 +53,7 @@ use vcgra::{PeSettings, VcgraArch};
 
 use crate::cache::{CacheStats, CachedConfig, ConfigCache, ConfigKey};
 use crate::engine::{run_bands, BandWork, Job, TenantRun};
-use crate::pool::{GridPool, Lease, PoolError, TenantId};
+use crate::pool::{GridPool, Lease, PoolError, Relocation, TenantId};
 use crate::pricer::{PeChange, SettingsPricer, SwapReport};
 
 /// Runtime construction parameters.
@@ -53,6 +74,20 @@ pub struct RuntimeConfig {
     pub pricer_format: FpFormat,
     /// Placement seed for cold compiles.
     pub place_seed: u64,
+    /// Queue oversubscribed submissions (FIFO, drained on release)
+    /// instead of erroring with [`PoolError::Oversubscribed`].
+    pub queue: bool,
+    /// Compact fragmented grids (relocate bands) to admit tenants whose
+    /// row demand fits the free rows but not any contiguous run.
+    pub compact: bool,
+    /// Cache-aware placement: among feasible grids, prefer one whose
+    /// (region, structure) key is already warm in the configuration
+    /// cache over plain first-fit.
+    pub cache_aware: bool,
+    /// Time-multiplex big-enough existing bands when no dedicated band
+    /// can be carved (even by compaction). Off, the runtime prefers
+    /// queueing latency over per-context-switch reconfiguration cost.
+    pub time_share: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -65,6 +100,10 @@ impl Default for RuntimeConfig {
             iface: ReconfigInterface::Hwicap,
             pricer_format: FpFormat::new(4, 6),
             place_seed: 42,
+            queue: true,
+            compact: true,
+            cache_aware: true,
+            time_share: true,
         }
     }
 }
@@ -78,6 +117,9 @@ pub enum RuntimeError {
     Flow(FlowError),
     /// Unknown tenant id.
     UnknownTenant(TenantId),
+    /// The tenant is waiting in the admission queue — it has no lease
+    /// yet, so it cannot run, swap, or resubmit structurally.
+    Waiting(TenantId),
     /// Parameter vector does not match the graph's coefficient slots.
     BadParamArity {
         /// Coefficient-bearing nodes in the graph.
@@ -107,6 +149,9 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Pool(e) => write!(f, "placement failed: {e}"),
             RuntimeError::Flow(e) => write!(f, "compile failed: {e}"),
             RuntimeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            RuntimeError::Waiting(t) => {
+                write!(f, "tenant {t} is queued for admission and has no lease yet")
+            }
             RuntimeError::BadParamArity { expected, got } => {
                 write!(f, "parameter vector has {got} values, graph has {expected} slots")
             }
@@ -134,15 +179,59 @@ impl From<FlowError> for RuntimeError {
     }
 }
 
-/// Result of admitting one application.
+/// Result of one `submit`: the application was either placed immediately
+/// or joined the FIFO admission queue.
 #[derive(Debug, Clone)]
-pub struct Admission {
+pub enum Admission {
+    /// A region was leased and the configuration is loaded.
+    Admitted(Admitted),
+    /// The pool is full; the application waits in the admission queue
+    /// and will be placed by a future `release`/`drain_queue`.
+    Queued(Queued),
+}
+
+impl Admission {
+    /// The tenant id, placed or queued.
+    pub fn tenant(&self) -> TenantId {
+        match self {
+            Admission::Admitted(a) => a.tenant,
+            Admission::Queued(q) => q.tenant,
+        }
+    }
+
+    /// True when the submission went to the queue.
+    pub fn is_queued(&self) -> bool {
+        matches!(self, Admission::Queued(_))
+    }
+
+    /// The placement report, if the application was placed immediately.
+    pub fn admitted(self) -> Option<Admitted> {
+        match self {
+            Admission::Admitted(a) => Some(a),
+            Admission::Queued(_) => None,
+        }
+    }
+
+    /// Unwraps the placement report; panics with `msg` if queued.
+    pub fn expect_admitted(self, msg: &str) -> Admitted {
+        match self {
+            Admission::Admitted(a) => a,
+            Admission::Queued(q) => panic!("{msg}: tenant {} was queued", q.tenant),
+        }
+    }
+}
+
+/// Report of one *placed* admission.
+#[derive(Debug, Clone)]
+pub struct Admitted {
     /// Assigned tenant id.
     pub tenant: TenantId,
     /// Leased region.
     pub lease: Lease,
     /// True when the configuration cache already held the structure.
     pub cache_hit: bool,
+    /// Bands the scheduler relocated (compaction) to place this tenant.
+    pub relocations: usize,
     /// Measured host time of the whole admission (compile or specialize).
     pub admit_time: Duration,
     /// Measured host time of `map_app` (zero on a cache hit).
@@ -151,13 +240,25 @@ pub struct Admission {
     pub config_port_time: Duration,
 }
 
+/// A submission parked in the admission queue.
+#[derive(Debug, Clone)]
+pub struct Queued {
+    /// Assigned tenant id (stable across the wait).
+    pub tenant: TenantId,
+    /// Position in the queue at enqueue time (0 = head).
+    pub position: usize,
+}
+
 /// What `resubmit` decided to do.
 #[derive(Debug, Clone)]
 pub enum Refresh {
     /// Structure unchanged: served by the micro-reconfiguration fast path.
     Swapped(SwapReport),
     /// Structure changed: full recompile (possibly relocated).
-    Recompiled(Admission),
+    Recompiled(Admitted),
+    /// Structure changed and the pool is full: the tenant surrendered its
+    /// lease and joined the admission queue with the new graph.
+    Queued(Queued),
 }
 
 /// Per-tenant accumulated accounting.
@@ -179,6 +280,8 @@ pub struct TenantStats {
     pub context_switches: usize,
     /// Modeled port time of those switches.
     pub switch_port_time: Duration,
+    /// Times this tenant's band was relocated by compaction.
+    pub relocations: usize,
 }
 
 /// One admitted application.
@@ -191,7 +294,7 @@ pub struct Tenant {
     pub graph: AppGraph,
     /// Placed configuration, settings in sync with `graph`.
     pub mapping: VcgraMapping,
-    /// Leased region.
+    /// Leased region (its `epoch` counts compaction moves).
     pub lease: Lease,
     key: ConfigKey,
     /// Accumulated accounting.
@@ -219,6 +322,23 @@ pub struct Ledger {
     pub host_admit_time: Duration,
     /// Modeled port time of initial configurations.
     pub admission_port_time: Duration,
+    /// Submissions that entered the admission queue.
+    pub queued: usize,
+    /// Queued submissions later placed by a drain.
+    pub queue_admitted: usize,
+    /// Queued submissions dropped because placement failed terminally
+    /// (too big for any grid, or the compile failed).
+    pub queue_dropped: usize,
+    /// Queued submissions cancelled by `release` before being placed
+    /// (`queued == queue_admitted + queue_dropped + queue_cancelled +`
+    /// the current queue depth, always).
+    pub queue_cancelled: usize,
+    /// Compaction events (each may relocate several bands).
+    pub compactions: usize,
+    /// Bands relocated across all compactions.
+    pub relocated_bands: usize,
+    /// Modeled port time replaying relocated bands' configurations.
+    pub compaction_port_time: Duration,
     /// Parameter swaps.
     pub swaps: usize,
     /// Frames rewritten by swaps.
@@ -242,9 +362,13 @@ pub struct Ledger {
 
 impl Ledger {
     /// Total modeled configuration-port time (admissions + swaps +
-    /// context switches) — the "reconfiguration cost" side of Section V.
+    /// context switches + compaction replays) — the "reconfiguration
+    /// cost" side of Section V.
     pub fn total_port_time(&self) -> Duration {
-        self.admission_port_time + self.swap_port_time + self.switch_port_time
+        self.admission_port_time
+            + self.swap_port_time
+            + self.switch_port_time
+            + self.compaction_port_time
     }
 }
 
@@ -256,6 +380,13 @@ pub struct StreamRequest {
     pub inputs: Vec<Vec<FpValue>>,
 }
 
+/// A submission waiting in the admission queue.
+struct Pending {
+    tenant: TenantId,
+    name: String,
+    graph: AppGraph,
+}
+
 /// The multi-tenant overlay runtime.
 pub struct Runtime {
     cfg: RuntimeConfig,
@@ -265,6 +396,11 @@ pub struct Runtime {
     tenants: BTreeMap<TenantId, Tenant>,
     next_id: TenantId,
     ledger: Ledger,
+    /// FIFO admission queue: submissions the pool could not place yet.
+    queue: VecDeque<Pending>,
+    /// Queued tenants that were dropped during a drain (placement failed
+    /// terminally), with the error that killed them.
+    queue_failures: Vec<(TenantId, RuntimeError)>,
     /// Which tenant's configuration is loaded in each band
     /// (`(grid, row0)` → tenant): a shared band whose resident differs
     /// from the next run's first job pays a swap-in context switch.
@@ -289,11 +425,17 @@ impl Runtime {
             tenants: BTreeMap::new(),
             next_id: 0,
             ledger,
+            queue: VecDeque::new(),
+            queue_failures: Vec::new(),
             resident: BTreeMap::new(),
         }
     }
 
-    /// Admits an application: lease a region, then compile or specialize.
+    /// Admits an application: lease a region (cache-aware, compacting if
+    /// needed), then compile or specialize. When the pool is full and the
+    /// queue is enabled the submission parks in the FIFO queue instead of
+    /// failing — it will be placed by a future [`Runtime::release`] or
+    /// [`Runtime::drain_queue`] under the same tenant id.
     pub fn submit(
         &mut self,
         name: impl Into<String>,
@@ -301,17 +443,106 @@ impl Runtime {
     ) -> Result<Admission, RuntimeError> {
         let id = self.next_id;
         self.next_id += 1;
-        self.admit(id, name.into(), graph)
+        let name = name.into();
+        // Strict FIFO: while earlier submissions wait, later ones join
+        // the tail even if they would fit — no queue jumping. A graph
+        // that could never fit any grid is still rejected synchronously;
+        // queueing it would only defer the TooBig to a silent drop.
+        if self.cfg.queue && !self.queue.is_empty() {
+            self.pool.fits_any_grid(graph.pe_demand())?;
+            return Ok(Admission::Queued(self.enqueue(id, name, graph)));
+        }
+        match self.place_and_admit(id, &name, &graph) {
+            Ok(adm) => Ok(Admission::Admitted(adm)),
+            Err(RuntimeError::Pool(PoolError::Oversubscribed { .. })) if self.cfg.queue => {
+                Ok(Admission::Queued(self.enqueue(id, name, graph)))
+            }
+            Err(e) => Err(e),
+        }
     }
 
-    fn admit(
+    fn enqueue(&mut self, tenant: TenantId, name: String, graph: AppGraph) -> Queued {
+        let position = self.queue.len();
+        self.queue.push_back(Pending { tenant, name, graph });
+        self.ledger.queued += 1;
+        Queued { tenant, position }
+    }
+
+    /// Drains the admission queue: places waiting tenants in strict FIFO
+    /// order until the head no longer fits (head-of-line blocking keeps
+    /// the order deterministic). A head whose placement fails terminally
+    /// (too big, compile error) is dropped and recorded in
+    /// [`Runtime::queue_failures`]. Returns the admissions produced.
+    ///
+    /// `release` and `run` call this automatically; it is public so
+    /// callers that free capacity out-of-band can drain explicitly.
+    pub fn drain_queue(&mut self) -> Vec<Admitted> {
+        let mut admitted = Vec::new();
+        while let Some(front) = self.queue.pop_front() {
+            match self.place_and_admit(front.tenant, &front.name, &front.graph) {
+                Ok(adm) => {
+                    self.ledger.queue_admitted += 1;
+                    admitted.push(adm);
+                }
+                Err(RuntimeError::Pool(PoolError::Oversubscribed { .. })) => {
+                    // Still blocked: the head keeps its place.
+                    self.queue.push_front(front);
+                    break;
+                }
+                Err(e) => {
+                    self.ledger.queue_dropped += 1;
+                    self.queue_failures.push((front.tenant, e));
+                }
+            }
+        }
+        admitted
+    }
+
+    /// Leases a region and loads the configuration. Never queues — the
+    /// caller decides what an `Oversubscribed` error means. `name` and
+    /// `graph` are only cloned once placement has succeeded.
+    fn place_and_admit(
         &mut self,
         id: TenantId,
-        name: String,
-        graph: AppGraph,
-    ) -> Result<Admission, RuntimeError> {
+        name: &str,
+        graph: &AppGraph,
+    ) -> Result<Admitted, RuntimeError> {
         let demand = graph.pe_demand();
-        let lease = self.pool.allocate(id, demand)?;
+        let channel_capacity = self.pool.channel_capacity();
+
+        // Cache-aware placement: among grids that can host a dedicated
+        // band right now, prefer one whose region shape already has this
+        // structure compiled — a warm hit there skips `map_app` entirely.
+        // With no candidate, fall through to compaction / time-sharing.
+        let candidates = self.pool.dedicated_candidates(demand);
+        let (lease, relocations) = if !candidates.is_empty() {
+            let pick = if self.cfg.cache_aware {
+                let archs = self.pool.grid_archs();
+                candidates
+                    .iter()
+                    .copied()
+                    .find(|&gi| {
+                        let region = VcgraArch::new(
+                            GridPool::rows_needed(demand, archs[gi].cols),
+                            archs[gi].cols,
+                            channel_capacity,
+                        );
+                        self.cache.contains(&ConfigKey::new(region, graph))
+                    })
+                    .unwrap_or(candidates[0])
+            } else {
+                candidates[0]
+            };
+            let lease = self
+                .pool
+                .allocate_on(pick, id, demand)
+                .expect("candidate grid has a free band");
+            (lease, Vec::new())
+        } else {
+            self.pool.allocate_with(id, demand, self.cfg.compact, self.cfg.time_share)?
+        };
+        self.apply_relocations(&relocations);
+
         // Compile against the *minimal* region for this demand, not the
         // leased band (a time-shared band can be taller than needed): the
         // cache key must depend only on (grid width, structure), so a
@@ -319,21 +550,23 @@ impl Runtime {
         let region = VcgraArch::new(
             GridPool::rows_needed(demand, lease.cols),
             lease.cols,
-            self.pool.channel_capacity(),
+            channel_capacity,
         );
-        let key = ConfigKey::new(region, &graph);
+        let key = ConfigKey::new(region, graph);
 
         let t0 = std::time::Instant::now();
         let (mapping, cache_hit, compile_time) = match self.cache.get(&key) {
             Some(cached) => {
                 let mut mapping = cached.mapping.clone();
-                Self::write_settings(&mut mapping, &graph);
+                Self::write_settings(&mut mapping, graph);
                 (mapping, true, Duration::ZERO)
             }
             None => {
-                let mapping = match vcgra::flow::map_app(&graph, region, self.cfg.place_seed) {
+                let mapping = match vcgra::flow::map_app(graph, region, self.cfg.place_seed) {
                     Ok(m) => m,
                     Err(e) => {
+                        // The lease is surrendered; any compaction the
+                        // placement performed stays (already charged).
                         self.pool.release(id);
                         return Err(e.into());
                     }
@@ -363,9 +596,52 @@ impl Runtime {
         self.resident.insert((lease.grid, lease.row0), id);
         self.tenants.insert(
             id,
-            Tenant { id, name, graph, mapping, lease, key, stats: TenantStats::default() },
+            Tenant {
+                id,
+                name: name.to_string(),
+                graph: graph.clone(),
+                mapping,
+                lease,
+                key,
+                stats: TenantStats::default(),
+            },
         );
-        Ok(Admission { tenant: id, lease, cache_hit, admit_time, compile_time, config_port_time })
+        Ok(Admitted {
+            tenant: id,
+            lease,
+            cache_hit,
+            relocations: relocations.len(),
+            admit_time,
+            compile_time,
+            config_port_time,
+        })
+    }
+
+    /// Applies a compaction's band moves to the runtime's view: leases
+    /// translate to their new rows (epoch advances), the resident map
+    /// follows, and the ledger charges one full-region configuration
+    /// replay per moved band — relocating a band means streaming its
+    /// (cached) configuration back through the port at the new offset.
+    fn apply_relocations(&mut self, relocations: &[Relocation]) {
+        if relocations.is_empty() {
+            return;
+        }
+        self.ledger.compactions += 1;
+        let archs = self.pool.grid_archs();
+        for r in relocations {
+            self.ledger.relocated_bands += 1;
+            self.ledger.compaction_port_time +=
+                self.pricer.full_config_cost(r.rows * archs[r.grid].cols);
+            if let Some(res) = self.resident.remove(&(r.grid, r.old_row0)) {
+                self.resident.insert((r.grid, r.new_row0), res);
+            }
+            for &t in &r.tenants {
+                if let Some(tenant) = self.tenants.get_mut(&t) {
+                    tenant.lease = tenant.lease.translated(r.new_row0);
+                    tenant.stats.relocations += 1;
+                }
+            }
+        }
     }
 
     /// Writes a graph's parameters into a mapping's settings (the
@@ -382,6 +658,18 @@ impl Runtime {
         }
     }
 
+    /// Looks a *placed* tenant up, distinguishing "waiting in the queue"
+    /// from "never heard of it".
+    fn live(&self, tenant: TenantId) -> Result<&Tenant, RuntimeError> {
+        match self.tenants.get(&tenant) {
+            Some(t) => Ok(t),
+            None if self.queue.iter().any(|p| p.tenant == tenant) => {
+                Err(RuntimeError::Waiting(tenant))
+            }
+            None => Err(RuntimeError::UnknownTenant(tenant)),
+        }
+    }
+
     /// Parameter-only change: new coefficients for the tenant's
     /// coefficient-bearing nodes, served by the micro-reconfiguration
     /// fast path (no recompile, dirty frames only).
@@ -390,7 +678,7 @@ impl Runtime {
         tenant: TenantId,
         coeffs: &[FpValue],
     ) -> Result<SwapReport, RuntimeError> {
-        let t = self.tenants.get(&tenant).ok_or(RuntimeError::UnknownTenant(tenant))?;
+        let t = self.live(tenant)?;
         let slots = t.graph.coeff_nodes();
         if slots.len() != coeffs.len() {
             return Err(RuntimeError::BadParamArity { expected: slots.len(), got: coeffs.len() });
@@ -418,7 +706,7 @@ impl Runtime {
         node: usize,
         counter: u32,
     ) -> Result<SwapReport, RuntimeError> {
-        let t = self.tenants.get(&tenant).ok_or(RuntimeError::UnknownTenant(tenant))?;
+        let t = self.live(tenant)?;
         if node >= t.graph.nodes.len() {
             return Err(RuntimeError::NodeOutOfRange { node, nodes: t.graph.nodes.len() });
         }
@@ -458,16 +746,31 @@ impl Runtime {
 
     /// The structural decision point: a graph with the same structure as
     /// the tenant's current one takes the swap fast path; anything else
-    /// releases the lease and recompiles (the tenant id survives).
+    /// releases the lease and recompiles (the tenant id survives). A
+    /// still-queued tenant simply has its pending graph replaced.
     ///
-    /// If the recompile itself fails (new graph too big / unroutable) the
-    /// tenant is evicted — the old lease was already surrendered.
+    /// The refresh re-places *in place*: the tenant's freed rows are
+    /// offered to its own recompile before the queue is drained (an
+    /// in-place refresh would otherwise deadlock behind its own queue
+    /// entry). If the new graph no longer fits, the tenant joins the
+    /// queue tail ([`Refresh::Queued`]); if the recompile itself fails
+    /// (too big / unroutable) the tenant is evicted — the old lease was
+    /// already surrendered.
     pub fn resubmit(
         &mut self,
         tenant: TenantId,
         graph: AppGraph,
     ) -> Result<Refresh, RuntimeError> {
-        let t = self.tenants.get(&tenant).ok_or(RuntimeError::UnknownTenant(tenant))?;
+        if !self.tenants.contains_key(&tenant) {
+            // Queued tenant: replace the pending graph, keep the slot.
+            if let Some(pos) = self.queue.iter().position(|p| p.tenant == tenant) {
+                self.pool.fits_any_grid(graph.pe_demand())?;
+                self.queue[pos].graph = graph;
+                return Ok(Refresh::Queued(Queued { tenant, position: pos }));
+            }
+            return Err(RuntimeError::UnknownTenant(tenant));
+        }
+        let t = &self.tenants[&tenant];
         if t.graph.same_structure(&graph) {
             let coeffs = graph.coeff_values();
             return Ok(Refresh::Swapped(self.swap_params(tenant, &coeffs)?));
@@ -477,20 +780,37 @@ impl Runtime {
         let stats = t.stats;
         self.pool.release(tenant);
         self.tenants.remove(&tenant);
-        let admission = self.admit(tenant, name, graph)?;
-        self.tenants.get_mut(&tenant).unwrap().stats = stats;
-        Ok(Refresh::Recompiled(admission))
+        self.resident.retain(|_, &mut r| r != tenant);
+        let refresh = match self.place_and_admit(tenant, &name, &graph) {
+            Ok(admission) => {
+                self.tenants.get_mut(&tenant).unwrap().stats = stats;
+                Refresh::Recompiled(admission)
+            }
+            Err(RuntimeError::Pool(PoolError::Oversubscribed { .. })) if self.cfg.queue => {
+                Refresh::Queued(self.enqueue(tenant, name, graph))
+            }
+            Err(e) => {
+                // The tenant is evicted but its rows are free now — the
+                // queue must still get them.
+                self.drain_queue();
+                return Err(e);
+            }
+        };
+        // A smaller replacement region may have freed rows for waiters.
+        self.drain_queue();
+        Ok(refresh)
     }
 
     /// Streams batched inputs through every requested tenant: bands run
     /// in parallel, shared bands serialize with context-switch charges.
+    /// Drains the admission queue first, so capacity freed since the last
+    /// call is never left idle (the drain's admissions are visible in the
+    /// ledger and via [`Runtime::tenant`]).
     pub fn run(&mut self, requests: Vec<StreamRequest>) -> Result<Vec<TenantRun>, RuntimeError> {
+        self.drain_queue();
         // Validate before borrowing for the engine.
         for req in &requests {
-            let t = self
-                .tenants
-                .get(&req.tenant)
-                .ok_or(RuntimeError::UnknownTenant(req.tenant))?;
+            let t = self.live(req.tenant)?;
             for v in &req.inputs {
                 if v.len() != t.graph.num_inputs {
                     return Err(RuntimeError::BadInputArity {
@@ -534,6 +854,7 @@ impl Runtime {
                             let t = &tenants[&req.tenant];
                             Job {
                                 tenant: req.tenant,
+                                epoch: t.lease.epoch,
                                 graph: &t.graph,
                                 mapping: &t.mapping,
                                 inputs: req.inputs,
@@ -561,14 +882,22 @@ impl Runtime {
         Ok(runs)
     }
 
-    /// Releases a tenant's region.
-    pub fn release(&mut self, tenant: TenantId) -> Result<(), RuntimeError> {
+    /// Releases a tenant's region (or cancels its queued admission), then
+    /// drains the admission queue in FIFO order. Returns the admissions
+    /// the freed capacity produced.
+    pub fn release(&mut self, tenant: TenantId) -> Result<Vec<Admitted>, RuntimeError> {
+        if let Some(pos) = self.queue.iter().position(|p| p.tenant == tenant) {
+            self.queue.remove(pos);
+            self.ledger.queue_cancelled += 1;
+            // Cancelling the head may unblock everyone behind it.
+            return Ok(self.drain_queue());
+        }
         self.tenants
             .remove(&tenant)
             .ok_or(RuntimeError::UnknownTenant(tenant))?;
         self.pool.release(tenant);
         self.resident.retain(|_, &mut r| r != tenant);
-        Ok(())
+        Ok(self.drain_queue())
     }
 
     /// Read access to one tenant.
@@ -579,6 +908,21 @@ impl Runtime {
     /// All live tenants in id order.
     pub fn tenants(&self) -> impl Iterator<Item = &Tenant> {
         self.tenants.values()
+    }
+
+    /// Tenants waiting in the admission queue, head first.
+    pub fn queued_tenants(&self) -> Vec<TenantId> {
+        self.queue.iter().map(|p| p.tenant).collect()
+    }
+
+    /// Depth of the admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queued tenants dropped during drains, with the terminal error.
+    pub fn queue_failures(&self) -> &[(TenantId, RuntimeError)] {
+        &self.queue_failures
     }
 
     /// Configuration-cache counters.
@@ -594,6 +938,12 @@ impl Runtime {
     /// Fraction of pool rows currently leased.
     pub fn utilization(&self) -> f64 {
         self.pool.utilization()
+    }
+
+    /// Read access to the scheduler's band state (for reporting and
+    /// invariant checks).
+    pub fn pool(&self) -> &GridPool {
+        &self.pool
     }
 
     /// The runtime's configuration.

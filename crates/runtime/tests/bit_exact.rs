@@ -31,7 +31,7 @@ fn every_library_kernel_is_bit_exact_cold_and_after_warm_swap() {
     // Admit every kernel concurrently onto the one pool.
     let mut ids = Vec::new();
     for w in &lib {
-        let adm = rt.submit(&w.name, w.graph.clone()).expect("admitted");
+        let adm = rt.submit(&w.name, w.graph.clone()).expect("submitted").expect_admitted("placed");
         ids.push(adm.tenant);
     }
 
@@ -94,11 +94,11 @@ fn warm_admission_hits_cache_and_skips_compile() {
     let a = kernels::fir(F, &[0.1, 0.2, 0.3, 0.4, 0.5]);
     let b = kernels::fir(F, &[-1.0, 2.0, -3.0, 4.0, -5.0]); // same structure
 
-    let cold = rt.submit("fir-cold", a.graph.clone()).unwrap();
+    let cold = rt.submit("fir-cold", a.graph.clone()).unwrap().expect_admitted("placed");
     assert!(!cold.cache_hit);
     assert!(cold.compile_time > std::time::Duration::ZERO);
 
-    let warm = rt.submit("fir-warm", b.graph.clone()).unwrap();
+    let warm = rt.submit("fir-warm", b.graph.clone()).unwrap().expect_admitted("placed");
     assert!(warm.cache_hit, "structurally identical graph must hit");
     assert_eq!(warm.compile_time, std::time::Duration::ZERO);
     assert_eq!(
@@ -130,13 +130,13 @@ fn warm_admission_hits_cache_and_skips_compile() {
 fn resubmit_routes_structure_changes_to_recompile() {
     let mut rt = Runtime::new(RuntimeConfig::default());
     let w = kernels::fir(F, &[0.25, 0.5, 0.25]);
-    let adm = rt.submit("fir", w.graph.clone()).unwrap();
+    let adm = rt.submit("fir", w.graph.clone()).unwrap().expect_admitted("placed");
 
     // Parameter-only resubmit: swap fast path.
     let swapped = w.graph.with_coeffs(&[fp(1.0), fp(2.0), fp(3.0)]);
     match rt.resubmit(adm.tenant, swapped).unwrap() {
         Refresh::Swapped(r) => assert!(r.dirty_pes > 0),
-        Refresh::Recompiled(_) => panic!("same structure must not recompile"),
+        _ => panic!("same structure must not recompile or queue"),
     }
 
     // Structural resubmit: recompile under the same tenant id.
@@ -146,7 +146,7 @@ fn resubmit_routes_structure_changes_to_recompile() {
             assert_eq!(a.tenant, adm.tenant, "tenant id survives");
             assert!(!a.cache_hit);
         }
-        Refresh::Swapped(_) => panic!("structure changed, must recompile"),
+        _ => panic!("structure changed, must recompile"),
     }
     let ins = stream(7, 4, 3);
     let runs = rt
@@ -174,7 +174,7 @@ fn oversubscribed_pool_time_multiplexes_without_corruption() {
     .collect();
     let mut ids = Vec::new();
     for w in &kernels {
-        ids.push(rt.submit(&w.name, w.graph.clone()).unwrap().tenant);
+        ids.push(rt.submit(&w.name, w.graph.clone()).unwrap().tenant());
     }
     // The third tenant had to share a band.
     assert!(rt.tenant(ids[2]).unwrap().lease.shared);

@@ -1,0 +1,198 @@
+//! Property-based scheduler invariant suite.
+//!
+//! Random allocate / release / compact sequences against a model of the
+//! pool. After **every** operation the scheduler must uphold:
+//!
+//! * **no overlap** — no two bands share a row, and every band lies
+//!   inside its grid;
+//! * **no leaks** — every live tenant sits on exactly one band, released
+//!   tenants are gone, and empty bands are reclaimed;
+//! * **conservation** — leased rows + free rows == grid rows, always;
+//! * **compaction completeness** — a request whose row demand fits the
+//!   *total* free rows of some grid is always admitted (dedicated, not
+//!   time-shared) when compaction is on: fragmentation alone can never
+//!   refuse work;
+//! * **honest relocation reports** — every `Relocation` the scheduler
+//!   returns matches the band state after the move.
+//!
+//! The proptest stand-in draws inputs from a per-test deterministic
+//! stream, so failures reproduce bit-for-bit.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use runtime::pool::{GridPool, PoolError};
+use runtime::TenantId;
+use vcgra::VcgraArch;
+
+/// A mixed-width pool: the widths differ so `rows_needed` differs per
+/// grid, which is what makes candidate selection and compaction
+/// interesting.
+fn pool() -> GridPool {
+    GridPool::new(vec![
+        VcgraArch::new(6, 4, 2),
+        VcgraArch::new(4, 5, 2),
+        VcgraArch::new(5, 4, 2),
+    ])
+}
+
+/// Full invariant sweep: overlap, leaks, conservation.
+fn check_invariants(p: &GridPool, live: &BTreeSet<TenantId>) {
+    let archs = p.grid_archs();
+    let bands = p.bands();
+    for (gi, arch) in archs.iter().enumerate() {
+        let mut taken = vec![false; arch.rows];
+        let mut used = 0;
+        for b in bands.iter().filter(|b| b.grid == gi) {
+            assert!(b.rows >= 2, "bands are valid regions");
+            assert!(b.row0 + b.rows <= arch.rows, "band inside its grid");
+            for (r, slot) in taken.iter_mut().enumerate().take(b.row0 + b.rows).skip(b.row0) {
+                assert!(!*slot, "bands must never overlap (grid {gi} row {r})");
+                *slot = true;
+            }
+            used += b.rows;
+            assert!(!b.tenants.is_empty(), "empty bands must be reclaimed");
+        }
+        assert_eq!(used + p.free_rows(gi), arch.rows, "row conservation on grid {gi}");
+    }
+    // Every live tenant exactly once, no ghost of a released tenant.
+    let mut seen = BTreeSet::new();
+    for b in &bands {
+        for &t in &b.tenants {
+            assert!(seen.insert(t), "tenant {t} leased twice");
+            assert!(live.contains(&t), "released tenant {t} still holds rows");
+        }
+    }
+    for &t in live {
+        assert!(seen.contains(&t), "live tenant {t} lost its lease");
+    }
+}
+
+/// True when some grid could host a dedicated band for `demand` once its
+/// free rows are coalesced.
+fn fits_after_compaction(p: &GridPool, demand: usize) -> bool {
+    p.grid_archs().iter().enumerate().any(|(gi, a)| {
+        let rows = GridPool::rows_needed(demand, a.cols);
+        rows <= a.rows && rows <= p.free_rows(gi)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_allocate_release_compact_sequences_uphold_invariants(
+        ops in prop::collection::vec((any::<u8>(), 1usize..30), 1..60),
+    ) {
+        let mut p = pool();
+        let mut live: BTreeSet<TenantId> = BTreeSet::new();
+        let mut next: TenantId = 0;
+        for (kind, demand) in ops {
+            match kind % 4 {
+                // Plain first-fit / time-share allocation.
+                0 | 1 => {
+                    let id = next;
+                    next += 1;
+                    match p.allocate(id, demand) {
+                        Ok(_) => { live.insert(id); }
+                        Err(PoolError::TooBig { .. } | PoolError::Oversubscribed { .. }) => {}
+                    }
+                }
+                // Compacting allocation: must succeed (dedicated) whenever
+                // total free rows suffice somewhere, and its relocation
+                // report must match the resulting band state.
+                2 => {
+                    let id = next;
+                    next += 1;
+                    let guaranteed = fits_after_compaction(&p, demand);
+                    match p.allocate_with(id, demand, true, kind % 8 < 4) {
+                        Ok((lease, relocs)) => {
+                            live.insert(id);
+                            if guaranteed {
+                                prop_assert!(
+                                    !lease.shared,
+                                    "free rows sufficed: must be dedicated, not shared"
+                                );
+                            }
+                            for r in &relocs {
+                                prop_assert_eq!(
+                                    p.band_tenants(r.grid, r.new_row0),
+                                    r.tenants.clone(),
+                                    "relocation report must match the moved band"
+                                );
+                                prop_assert!(r.new_row0 < r.old_row0, "compaction slides down");
+                            }
+                        }
+                        Err(e) => {
+                            prop_assert!(
+                                !guaranteed,
+                                "fragmentation-only refusal despite compaction: {e} \
+                                 (demand {demand})"
+                            );
+                        }
+                    }
+                }
+                // Release a pseudo-random live tenant.
+                _ => {
+                    if let Some(&t) = live.iter().nth(demand % live.len().max(1)) {
+                        prop_assert!(p.release(t), "live tenant must release");
+                        live.remove(&t);
+                        prop_assert!(!p.release(t), "double release must be a no-op");
+                    }
+                }
+            }
+            check_invariants(&p, &live);
+        }
+    }
+
+    #[test]
+    fn compaction_never_changes_total_free_rows(
+        ops in prop::collection::vec((any::<u8>(), 1usize..25), 1..40),
+    ) {
+        let mut p = pool();
+        let mut live: BTreeSet<TenantId> = BTreeSet::new();
+        let mut next: TenantId = 0;
+        for (kind, demand) in ops {
+            if kind % 3 == 0 {
+                if let Some(&t) = live.iter().nth(demand % live.len().max(1)) {
+                    p.release(t);
+                    live.remove(&t);
+                }
+            } else if p.allocate(next, demand).is_ok() {
+                live.insert(next);
+                next += 1;
+            } else {
+                next += 1;
+            }
+        }
+        // Compacting every grid moves bands but conserves each grid's
+        // free-row count and each band's shape and tenant list.
+        let before: Vec<_> = (0..p.grid_archs().len()).map(|g| p.free_rows(g)).collect();
+        let mut shapes_before: Vec<_> =
+            p.bands().into_iter().map(|b| (b.rows, b.tenants)).collect();
+        for g in 0..p.grid_archs().len() {
+            p.compact_grid(g);
+        }
+        let after: Vec<_> = (0..p.grid_archs().len()).map(|g| p.free_rows(g)).collect();
+        let mut shapes_after: Vec<_> =
+            p.bands().into_iter().map(|b| (b.rows, b.tenants)).collect();
+        prop_assert_eq!(before, after, "compaction must not create or destroy rows");
+        shapes_before.sort();
+        shapes_after.sort();
+        prop_assert_eq!(shapes_before, shapes_after, "band shapes and tenants survive");
+        check_invariants(&p, &live);
+        // After a full compaction every grid's free space is one run: any
+        // demand that fits the free rows is admissible without further
+        // moves.
+        for (gi, arch) in p.grid_archs().iter().enumerate() {
+            let free = p.free_rows(gi);
+            if free >= 2 {
+                let demand = free * arch.cols;
+                prop_assert!(
+                    p.dedicated_candidates(demand).contains(&gi),
+                    "grid {gi} must offer its {free} coalesced free rows"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Scheduler acceptance tests: admission queue FIFO discipline, band
+//! compaction (including the 13-row tenant first-fit refuses), cache-aware
+//! placement on a mixed-width pool, and a seeded multi-tenant churn soak —
+//! everything asserted, nothing just printed.
+
+use std::collections::VecDeque;
+
+use runtime::kernels;
+use runtime::{Admission, Runtime, RuntimeConfig, RuntimeError, StreamRequest, TenantId};
+use softfloat::{FpFormat, FpValue};
+use vcgra::sim::run_dataflow;
+use vcgra::VcgraArch;
+
+const F: FpFormat = FpFormat::PAPER;
+
+fn fp(x: f64) -> FpValue {
+    FpValue::from_f64(x, F)
+}
+
+fn stream(n: usize, items: usize, salt: u64) -> Vec<Vec<FpValue>> {
+    let mut rng = logic::SplitMix64::new(0xFEED ^ salt);
+    (0..items)
+        .map(|_| (0..n).map(|_| fp((rng.unit_f64() - 0.5) * 8.0)).collect())
+        .collect()
+}
+
+/// Streams `items` inputs through one tenant and asserts bit-exactness
+/// against `run_dataflow` on the tenant's current graph.
+fn assert_bit_exact(rt: &mut Runtime, tenant: TenantId, items: usize, salt: u64) {
+    let graph = rt.tenant(tenant).unwrap().graph.clone();
+    let ins = stream(graph.num_inputs, items, salt);
+    let runs = rt
+        .run(vec![StreamRequest { tenant, inputs: ins.clone() }])
+        .expect("stream");
+    for (input, out) in ins.iter().zip(&runs[0].outputs) {
+        let want = run_dataflow(&graph, input);
+        assert_eq!(
+            out.iter().map(|v| v.bits).collect::<Vec<_>>(),
+            want.iter().map(|v| v.bits).collect::<Vec<_>>(),
+            "tenant {tenant} must stay bit-exact"
+        );
+    }
+}
+
+#[test]
+fn queue_drains_in_fifo_order_on_release() {
+    // One 6x4 grid. A 6-row blocker fills it; everything after queues.
+    let cfg = RuntimeConfig {
+        grids: vec![VcgraArch::new(6, 4, 2)],
+        time_share: false,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(cfg);
+    let blocker = rt
+        .submit("blocker", kernels::fir_seeded(F, 12, 1).graph) // 23 nodes → 6 rows
+        .unwrap()
+        .expect_admitted("empty pool");
+
+    // Three 2-row tenants queue up in submission order.
+    let mut queued = Vec::new();
+    for (i, seed) in [2u64, 3, 4].iter().enumerate() {
+        match rt.submit(format!("q{i}"), kernels::fir_seeded(F, 3, *seed).graph).unwrap() {
+            Admission::Queued(q) => {
+                assert_eq!(q.position, i, "positions count up from the head");
+                queued.push(q.tenant);
+            }
+            Admission::Admitted(_) => panic!("pool is full, q{i} must queue"),
+        }
+    }
+    assert_eq!(rt.queue_len(), 3);
+    assert_eq!(rt.queued_tenants(), queued);
+    assert_eq!(rt.ledger().queued, 3);
+
+    // Releasing the blocker admits all three, strictly in FIFO order,
+    // packed from row 0.
+    let drained = rt.release(blocker.tenant).unwrap();
+    assert_eq!(
+        drained.iter().map(|a| a.tenant).collect::<Vec<_>>(),
+        queued,
+        "drain must follow submission order"
+    );
+    for (i, adm) in drained.iter().enumerate() {
+        assert_eq!(adm.lease.row0, i * 2, "FIFO drain packs first-fit");
+    }
+    assert_eq!(rt.queue_len(), 0);
+    assert_eq!(rt.ledger().queue_admitted, 3);
+    for &t in &queued {
+        assert_bit_exact(&mut rt, t, 6, t);
+    }
+}
+
+#[test]
+fn late_submissions_never_jump_the_queue_head() {
+    let cfg = RuntimeConfig {
+        grids: vec![VcgraArch::new(6, 4, 2)],
+        time_share: false,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(cfg);
+    let blocker = rt
+        .submit("blocker", kernels::fir_seeded(F, 12, 1).graph)
+        .unwrap()
+        .expect_admitted("empty pool");
+    // Head of queue: another 6-row tenant. Behind it: a 2-row one.
+    let big = rt.submit("big", kernels::fir_seeded(F, 12, 9).graph).unwrap();
+    assert!(big.is_queued());
+    let small = rt.submit("small", kernels::fir_seeded(F, 3, 5).graph).unwrap();
+    assert!(small.is_queued(), "while the queue is non-empty, everyone joins it");
+
+    // Releasing the blocker admits only the big head; the small tenant
+    // must not overtake it even though it would have fit beside nothing.
+    let drained = rt.release(blocker.tenant).unwrap();
+    assert_eq!(drained.len(), 1);
+    assert_eq!(drained[0].tenant, big.tenant());
+    assert_eq!(rt.queued_tenants(), vec![small.tenant()]);
+
+    // Now the big one leaves; the small head drains.
+    let drained = rt.release(big.tenant()).unwrap();
+    assert_eq!(drained.len(), 1);
+    assert_eq!(drained[0].tenant, small.tenant());
+    assert_eq!(rt.queue_len(), 0);
+}
+
+#[test]
+fn queued_tenants_cannot_run_and_can_cancel() {
+    let cfg = RuntimeConfig {
+        grids: vec![VcgraArch::new(6, 4, 2)],
+        time_share: false,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(cfg);
+    rt.submit("blocker", kernels::fir_seeded(F, 12, 1).graph).unwrap().expect_admitted("fits");
+    let q = rt.submit("waiter", kernels::fir_seeded(F, 3, 2).graph).unwrap();
+    assert!(q.is_queued());
+    let id = q.tenant();
+
+    // Operations on a queued tenant say "waiting", not "unknown".
+    assert_eq!(
+        rt.swap_params(id, &[fp(1.0); 3]).unwrap_err(),
+        RuntimeError::Waiting(id)
+    );
+    assert_eq!(
+        rt.run(vec![StreamRequest { tenant: id, inputs: stream(5, 1, 0) }]).unwrap_err(),
+        RuntimeError::Waiting(id)
+    );
+    // Cancelling a queued admission frees nothing but empties the queue.
+    assert!(rt.release(id).unwrap().is_empty());
+    assert_eq!(rt.queue_len(), 0);
+    assert_eq!(rt.release(id).unwrap_err(), RuntimeError::UnknownTenant(id));
+}
+
+#[test]
+fn cancelling_the_queue_head_unblocks_the_tenants_behind_it() {
+    let cfg = RuntimeConfig {
+        grids: vec![VcgraArch::new(6, 4, 2)],
+        time_share: false,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(cfg);
+    // Two free rows left; the 6-row head blocks a 2-row follower that
+    // would fit right now.
+    rt.submit("resident", kernels::fir_seeded(F, 7, 1).graph) // 13 nodes → 4 rows
+        .unwrap()
+        .expect_admitted("fits");
+    let head = rt.submit("head", kernels::fir_seeded(F, 12, 2).graph).unwrap();
+    assert!(head.is_queued());
+    let follower = rt.submit("follower", kernels::fir_seeded(F, 3, 3).graph).unwrap();
+    assert!(follower.is_queued());
+
+    // Cancelling the blocked head must drain the follower immediately —
+    // not leave it parked while two rows sit idle.
+    let drained = rt.release(head.tenant()).unwrap();
+    assert_eq!(drained.len(), 1);
+    assert_eq!(drained[0].tenant, follower.tenant());
+    assert_eq!(rt.queue_len(), 0);
+}
+
+#[test]
+fn impossible_demands_are_rejected_synchronously_even_behind_a_queue() {
+    let cfg = RuntimeConfig {
+        grids: vec![VcgraArch::new(6, 4, 2)],
+        time_share: false,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(cfg);
+    rt.submit("blocker", kernels::fir_seeded(F, 12, 1).graph).unwrap().expect_admitted("fits");
+    let waiter = rt.submit("waiter", kernels::fir_seeded(F, 3, 2).graph).unwrap();
+    assert!(waiter.is_queued());
+
+    // 49 nodes need 13 rows — no grid of the pool could ever host that.
+    // It must fail now, identically to the empty-queue case, instead of
+    // queueing and being dropped silently at the next drain.
+    let too_big = kernels::fir_seeded(F, 25, 3).graph;
+    assert!(matches!(
+        rt.submit("impossible", too_big.clone()).unwrap_err(),
+        RuntimeError::Pool(runtime::PoolError::TooBig { .. })
+    ));
+    // Same for a queued tenant trying to swap to an impossible graph.
+    assert!(matches!(
+        rt.resubmit(waiter.tenant(), too_big).unwrap_err(),
+        RuntimeError::Pool(runtime::PoolError::TooBig { .. })
+    ));
+    assert_eq!(rt.queue_len(), 1, "the waiter keeps its slot");
+    assert!(rt.queue_failures().is_empty());
+}
+
+/// The acceptance scenario: 13 free rows, fragmented 6+7, and a 13-row
+/// tenant. First-fit (no compaction) refuses / queues; compaction slides
+/// the 3-row survivor down and admits — and everything stays bit-exact,
+/// including the relocated tenant.
+#[test]
+fn compaction_admits_13_row_tenant_where_first_fit_refused() {
+    let grids = vec![VcgraArch::new(16, 2, 2)];
+    let blocker = kernels::fir_seeded(F, 6, 11); // 11 nodes → 6 rows of 2
+    let survivor = kernels::fir_seeded(F, 3, 12); // 5 nodes → 3 rows
+    let big = kernels::fir_seeded(F, 13, 13); // 25 nodes → 13 rows
+
+    // Without compaction (queue on): the big tenant can only wait.
+    let cfg = RuntimeConfig { grids: grids.clone(), compact: false, ..RuntimeConfig::default() };
+    let mut rt = Runtime::new(cfg);
+    let b = rt.submit("blocker", blocker.graph.clone()).unwrap().expect_admitted("fits");
+    rt.submit("survivor", survivor.graph.clone()).unwrap().expect_admitted("fits");
+    rt.release(b.tenant).unwrap();
+    assert!(
+        rt.submit("big", big.graph.clone()).unwrap().is_queued(),
+        "13 fragmented free rows, first fit must refuse the 13-row tenant"
+    );
+
+    // Same sequence with compaction: the request admits immediately.
+    let cfg = RuntimeConfig { grids, ..RuntimeConfig::default() };
+    let mut rt = Runtime::new(cfg);
+    let b = rt.submit("blocker", blocker.graph.clone()).unwrap().expect_admitted("fits");
+    let s = rt.submit("survivor", survivor.graph.clone()).unwrap().expect_admitted("fits");
+    assert_eq!((s.lease.row0, s.lease.rows), (6, 3));
+    rt.release(b.tenant).unwrap();
+
+    let adm = rt.submit("big", big.graph.clone()).unwrap().expect_admitted("compaction");
+    assert_eq!(adm.lease.rows, 13, "a 13-row dedicated band");
+    assert_eq!(adm.relocations, 1, "one band slid down to make room");
+    assert_eq!(adm.lease.row0, 3, "admitted right above the compacted band");
+
+    // The survivor moved to row 0 and its lease epoch advanced.
+    let survivor_tenant = rt.tenant(s.tenant).unwrap();
+    assert_eq!(survivor_tenant.lease.row0, 0);
+    assert_eq!(survivor_tenant.lease.epoch, 1, "relocation must bump the epoch");
+    assert_eq!(survivor_tenant.stats.relocations, 1);
+    let led = rt.ledger();
+    assert_eq!((led.compactions, led.relocated_bands), (1, 1));
+    assert!(
+        led.compaction_port_time > std::time::Duration::ZERO,
+        "the replay must be charged as reconfiguration time"
+    );
+
+    // Bit-exact across the relocation, for mover and newcomer alike; the
+    // run reports the epoch the tenant executed at.
+    assert_bit_exact(&mut rt, s.tenant, 8, 21);
+    assert_bit_exact(&mut rt, adm.tenant, 8, 22);
+    let ins = stream(3, 2, 33);
+    let runs = rt.run(vec![StreamRequest { tenant: s.tenant, inputs: ins }]).unwrap();
+    assert_eq!(runs[0].epoch, 1, "the run must carry the relocation epoch");
+
+    // A parameter swap on the relocated tenant still lands on the right
+    // (translated) settings frames.
+    let rep = rt.swap_params(s.tenant, &[fp(0.5), fp(-0.25), fp(0.125)]).unwrap();
+    assert!(rep.dirty_pes > 0);
+    assert_bit_exact(&mut rt, s.tenant, 4, 34);
+}
+
+/// Cache-aware placement on a mixed-width pool: the same structure is
+/// already compiled for the 5-wide grid; a naive first fit recompiles it
+/// for the 4-wide grid, the cache-aware policy goes where the key is warm.
+#[test]
+fn cache_aware_placement_raises_warm_hit_rate_on_mixed_width_pool() {
+    fn scenario(cache_aware: bool) -> (u64, u64, f64, Runtime, TenantId) {
+        let cfg = RuntimeConfig {
+            grids: vec![VcgraArch::new(6, 4, 2), VcgraArch::new(6, 5, 2)],
+            cache_aware,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(cfg);
+        // Fill the 4-wide grid with a 6-row blocker.
+        let blocker = rt
+            .submit("blocker", kernels::matvec(F, &[
+                vec![1.0, 0.5, 0.25, 0.125],
+                vec![-1.0, 2.0, -0.5, 0.75],
+                vec![0.5, 0.5, 0.5, 0.5],
+            ]).graph)
+            .unwrap()
+            .expect_admitted("empty pool"); // 21 nodes → 6 rows of 4
+        assert_eq!(blocker.lease.grid, 0);
+        // The FIR lands on the 5-wide grid and compiles for width 5.
+        let first = rt
+            .submit("fir-a", kernels::fir_seeded(F, 5, 41).graph)
+            .unwrap()
+            .expect_admitted("grid 1 has room");
+        assert_eq!(first.lease.grid, 1);
+        assert!(!first.cache_hit);
+        // Free the 4-wide grid: both widths are now feasible.
+        rt.release(blocker.tenant).unwrap();
+        // Same structure, new coefficients. First fit picks the 4-wide
+        // grid (cold compile); cache-aware goes to the warm width.
+        let second = rt
+            .submit("fir-b", kernels::fir_seeded(F, 5, 42).graph)
+            .unwrap()
+            .expect_admitted("both grids have room");
+        let stats = rt.cache_stats();
+        (stats.hits, stats.misses, stats.hit_rate(), rt, second.tenant)
+    }
+
+    let (cold_hits, cold_misses, cold_rate, _, _) = scenario(false);
+    let (warm_hits, warm_misses, warm_rate, mut rt, second) = scenario(true);
+    assert_eq!(cold_hits, 0, "first fit recompiles the structure for the new width");
+    assert_eq!(cold_misses, 3);
+    assert_eq!(warm_hits, 1, "cache-aware placement finds the warm width");
+    assert_eq!(warm_misses, 2);
+    assert!(
+        warm_rate > cold_rate,
+        "warm-hit rate must strictly improve ({warm_rate:.2} vs {cold_rate:.2})"
+    );
+    assert_eq!(rt.tenant(second).unwrap().lease.grid, 1, "placed on the warm grid");
+    // The warm-admitted tenant computes its own coefficients' results.
+    assert_bit_exact(&mut rt, second, 8, 55);
+}
+
+/// Seeded multi-tenant churn through the queue: submissions, releases and
+/// streams interleave for dozens of rounds. The model tracks the expected
+/// FIFO queue; every drain must match it, every stream must stay
+/// bit-exact, and the pool invariants must hold throughout.
+#[test]
+fn seeded_churn_soak_preserves_fifo_and_bit_exactness() {
+    let cfg = RuntimeConfig {
+        grids: vec![VcgraArch::new(8, 4, 2), VcgraArch::new(6, 5, 2)],
+        time_share: false,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(cfg);
+    let mut rng = logic::SplitMix64::new(0x50AC);
+    let mut live: Vec<TenantId> = Vec::new();
+    let mut expected_queue: VecDeque<TenantId> = VecDeque::new();
+    let mut admitted_order: Vec<TenantId> = Vec::new();
+    let mut submitted_order: Vec<TenantId> = Vec::new();
+
+    let note_drained = |drained: &[runtime::Admitted],
+                           expected_queue: &mut VecDeque<TenantId>,
+                           live: &mut Vec<TenantId>,
+                           admitted_order: &mut Vec<TenantId>| {
+        for adm in drained {
+            let head = expected_queue.pop_front().expect("drain with empty model queue");
+            assert_eq!(adm.tenant, head, "drain must pop the FIFO head");
+            live.push(adm.tenant);
+            admitted_order.push(adm.tenant);
+        }
+    };
+
+    for round in 0..60u64 {
+        match rng.below(4) {
+            // Submit a random small kernel.
+            0 | 1 => {
+                let w = match rng.below(3) {
+                    0 => kernels::fir_seeded(F, 3, 100 + round),  // 2 rows
+                    1 => kernels::fir_seeded(F, 5, 200 + round),  // 3 rows (of 4)
+                    _ => kernels::tree_reduction(F, 4), // 2 rows
+                };
+                let adm = rt.submit(format!("t{round}"), w.graph).unwrap();
+                submitted_order.push(adm.tenant());
+                match adm {
+                    Admission::Admitted(a) => {
+                        assert!(
+                            expected_queue.is_empty(),
+                            "nobody may be admitted past a waiting queue"
+                        );
+                        live.push(a.tenant);
+                        admitted_order.push(a.tenant);
+                    }
+                    Admission::Queued(q) => {
+                        expected_queue.push_back(q.tenant);
+                    }
+                }
+            }
+            // Release a pseudo-random live tenant; the drain must follow
+            // the model's FIFO queue.
+            2 => {
+                if !live.is_empty() {
+                    let victim = live.remove((rng.below(live.len() as u64)) as usize);
+                    let drained = rt.release(victim).unwrap();
+                    note_drained(&drained, &mut expected_queue, &mut live, &mut admitted_order);
+                }
+            }
+            // Stream a batch through a pseudo-random live tenant,
+            // bit-exact against run_dataflow.
+            _ => {
+                if !live.is_empty() {
+                    let t = live[(rng.below(live.len() as u64)) as usize];
+                    assert_bit_exact(&mut rt, t, 4, round);
+                }
+            }
+        }
+        assert_eq!(
+            rt.queued_tenants(),
+            expected_queue.iter().copied().collect::<Vec<_>>(),
+            "round {round}: runtime queue must match the FIFO model"
+        );
+        assert!(rt.utilization() <= 1.0 + 1e-12);
+    }
+
+    // Drain everything at the end: release all live tenants.
+    while let Some(victim) = live.pop() {
+        let drained = rt.release(victim).unwrap();
+        note_drained(&drained, &mut expected_queue, &mut live, &mut admitted_order);
+    }
+    assert!(rt.queue_failures().is_empty(), "no queued tenant may be dropped");
+    // Global FIFO: the admission order is exactly the submission order
+    // restricted to tenants that were ever admitted.
+    let admitted_set: std::collections::BTreeSet<_> = admitted_order.iter().copied().collect();
+    let expected: Vec<TenantId> = submitted_order
+        .iter()
+        .copied()
+        .filter(|t| admitted_set.contains(t))
+        .collect();
+    assert_eq!(admitted_order, expected, "admissions must respect submission order");
+    // The cache did its job across the churn: structures repeat, so warm
+    // admissions must dominate cold compiles.
+    let led = rt.ledger();
+    assert!(led.warm_admissions > led.cold_compiles);
+}

@@ -12,16 +12,32 @@
 //!    micro-reconfiguration fast path (dirty frames only);
 //! 4. **concurrent streams** batch inputs through every tenant on
 //!    parallel band workers, with bit-exactness checked against
-//!    `vcgra::sim::run_dataflow`.
+//!    `vcgra::sim::run_dataflow`;
+//!
+//! followed by the **scheduler waves** (the admission-layer story):
+//!
+//! 5. **queue wave** — a full pool queues submissions FIFO and drains
+//!    them deterministically on release (asserted, not just printed);
+//! 6. **compaction wave** — a 13-row tenant that first-fit refuses on 13
+//!    fragmented free rows admits once the scheduler slides the surviving
+//!    band down (relocation epochs and replay charges in the ledger);
+//! 7. **cache wave** — the same submission sequence runs on a mixed-width
+//!    pool with cache-aware placement off, then on: the warm-hit rate
+//!    must strictly improve.
 //!
 //! The run fails (non-zero exit) if the warm admission path is not at
-//! least 10× faster than the cold compile of the same structures, or if
-//! any tenant's outputs deviate from `run_dataflow` by a single bit.
+//! least 10× faster than the cold compile of the same structures, if any
+//! tenant's outputs deviate from `run_dataflow` by a single bit, or if
+//! any scheduler-wave assertion fires.
 //!
-//! Usage: `cargo run -p xbench --release --bin serve [--smoke]`
+//! Usage: `cargo run -p xbench --release --bin serve [--smoke] [--queue]
+//! [--compact] [--check]`
+//!
+//! `--queue` / `--compact` select just that scheduler wave; `--check`
+//! (CI's queue-regression gate) runs everything regardless of selection.
 
 use runtime::kernels;
-use runtime::{Runtime, RuntimeConfig, StreamRequest};
+use runtime::{Admission, Runtime, RuntimeConfig, StreamRequest, TenantId};
 use softfloat::{FpFormat, FpValue};
 use std::time::Duration;
 use vcgra::sim::run_dataflow;
@@ -48,8 +64,24 @@ fn stream(n: usize, items: usize, salt: u64) -> Vec<Vec<FpValue>> {
         .collect()
 }
 
-fn main() {
-    let smoke = xbench::smoke_mode();
+/// Streams through one tenant and asserts bit-exactness on its current
+/// graph.
+fn assert_bit_exact(rt: &mut Runtime, tenant: TenantId, items: usize, salt: u64) {
+    let graph = rt.tenant(tenant).unwrap().graph.clone();
+    let ins = stream(graph.num_inputs, items, salt);
+    let runs = rt.run(vec![StreamRequest { tenant, inputs: ins.clone() }]).expect("stream");
+    for (input, out) in ins.iter().zip(&runs[0].outputs) {
+        let want = run_dataflow(&graph, input);
+        assert_eq!(
+            out.iter().map(|v| v.bits).collect::<Vec<_>>(),
+            want.iter().map(|v| v.bits).collect::<Vec<_>>(),
+            "tenant {tenant} deviates from run_dataflow"
+        );
+    }
+}
+
+/// Phases 1–4 + ledger: the original mixed-tenant soak.
+fn soak(smoke: bool) {
     let items_per_tenant = if smoke { 200 } else { 2000 };
     let mut lib = kernels::library(F);
     if !smoke {
@@ -90,7 +122,10 @@ fn main() {
     let mut cold_ids = Vec::new();
     let mut cold_admits: Vec<Duration> = Vec::new();
     for w in &lib {
-        let adm = rt.submit(&w.name, w.graph.clone()).expect("cold admission");
+        let adm = rt
+            .submit(&w.name, w.graph.clone())
+            .expect("cold submission")
+            .expect_admitted("cold wave fits the pool");
         println!(
             "  {:<22} {:>4} {:>6}x{:<2} {:>12} {:>12} {:>6}",
             w.name,
@@ -122,7 +157,10 @@ fn main() {
         let coeffs: Vec<FpValue> =
             (0..slots.len()).map(|_| fp((rng.unit_f64() - 0.5) * 4.0)).collect();
         let graph = w.graph.with_coeffs(&coeffs);
-        let adm = rt.submit(format!("{}-warm", w.name), graph.clone()).expect("warm admission");
+        let adm = rt
+            .submit(format!("{}-warm", w.name), graph.clone())
+            .expect("warm submission")
+            .expect_admitted("warm wave time-shares instead of queueing");
         println!(
             "  {:<22} admit {:>12}  cache {}  {}",
             format!("{}-warm", w.name),
@@ -184,8 +222,8 @@ fn main() {
     let wall = t0.elapsed();
 
     println!(
-        "  {:<22} {:>7} {:>10} {:>12} {:>7} {:>10}",
-        "tenant", "items", "host", "items/s", "cxsw", "bit-exact"
+        "  {:<22} {:>7} {:>10} {:>12} {:>7} {:>6} {:>10}",
+        "tenant", "items", "host", "items/s", "cxsw", "epoch", "bit-exact"
     );
     let mut total_items = 0usize;
     for run in &runs {
@@ -204,12 +242,13 @@ fn main() {
         }
         total_items += run.items;
         println!(
-            "  {:<22} {:>7} {:>10} {:>12.0} {:>7} {:>10}",
+            "  {:<22} {:>7} {:>10} {:>12.0} {:>7} {:>6} {:>10}",
             name,
             run.items,
             ms(run.exec_time),
             run.throughput(),
             run.context_switches,
+            run.epoch,
             "yes",
         );
     }
@@ -219,12 +258,17 @@ fn main() {
         total_items as f64 / wall.as_secs_f64().max(1e-12),
     );
 
-    // --- phase 5: the ledger ---
+    // --- ledger ---
     let led = rt.ledger();
     let cache = rt.cache_stats();
     println!("\n-- ledger (measured host vs modeled configuration port) --");
     println!("  cold compiles          {:>10}   host compile {}", led.cold_compiles, ms(led.host_compile_time));
     println!("  warm admissions        {:>10}   host admit   {}", led.warm_admissions, ms(led.host_admit_time));
+    println!(
+        "  queued / drained       {:>6} / {:<3} dropped {} cancelled {}",
+        led.queued, led.queue_admitted, led.queue_dropped, led.queue_cancelled
+    );
+    println!("  compactions            {:>10}   bands moved  {} ({})", led.compactions, led.relocated_bands, ms(led.compaction_port_time));
     println!("  parameter swaps        {:>10}   dirty frames {}", led.swaps, led.swap_frames);
     println!("  swap port time         {:>10}   SCG eval     {}", ms(led.swap_port_time), us(led.swap_eval_time));
     println!("  context switches       {:>10}   switch port  {}", led.context_switches, ms(led.switch_port_time));
@@ -236,11 +280,219 @@ fn main() {
         rt.config().iface.name(),
     );
     println!(
-        "  cache: {} hits / {} misses / {} evictions; pool utilization {:.0}%",
+        "  cache: {} hits / {} misses / {} evictions ({:.0}% warm); pool utilization {:.0}%",
         cache.hits,
         cache.misses,
         cache.evictions,
+        cache.hit_rate() * 100.0,
         rt.utilization() * 100.0,
     );
-    println!("\nOK: warm path {speedup:.0}x, all outputs bit-exact with run_dataflow.");
+    println!("\nsoak OK: warm path {speedup:.0}x, all outputs bit-exact with run_dataflow.");
+}
+
+/// Phase 5: FIFO admission queue — fill the pool, queue three tenants,
+/// release the blocker, and require the drain to follow submission order.
+fn queue_wave() {
+    println!("\n=== queue wave: FIFO admission under a full pool ===");
+    let cfg = RuntimeConfig {
+        grids: vec![VcgraArch::new(6, 4, 2)],
+        time_share: false, // prefer queueing latency over context switches
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(cfg);
+    let blocker = rt
+        .submit("blocker", kernels::fir_seeded(F, 12, 1).graph)
+        .expect("submit")
+        .expect_admitted("empty pool");
+    println!("  blocker holds all {} rows", blocker.lease.rows);
+
+    println!("  {:<10} {:>6} {:>9}", "tenant", "rows", "position");
+    let mut queued = Vec::new();
+    for (i, seed) in [21u64, 22, 23].iter().enumerate() {
+        match rt.submit(format!("wait{i}"), kernels::fir_seeded(F, 3, *seed).graph).expect("submit") {
+            Admission::Queued(q) => {
+                println!("  wait{:<6} {:>6} {:>9}", i, 2, q.position);
+                assert_eq!(q.position, i, "queue positions count up");
+                queued.push(q.tenant);
+            }
+            Admission::Admitted(_) => panic!("pool is full: wait{i} must queue"),
+        }
+    }
+    assert_eq!(rt.queue_len(), 3);
+
+    let drained = rt.release(blocker.tenant).expect("release");
+    println!("  release(blocker) drained {} tenants:", drained.len());
+    println!("  {:<10} {:>6} {:>6} {:>12}", "tenant", "row0", "rows", "admit");
+    for adm in &drained {
+        let name = rt.tenant(adm.tenant).unwrap().name.clone();
+        println!("  {:<10} {:>6} {:>6} {:>12}", name, adm.lease.row0, adm.lease.rows, us(adm.admit_time));
+    }
+    assert_eq!(
+        drained.iter().map(|a| a.tenant).collect::<Vec<_>>(),
+        queued,
+        "drain must follow FIFO submission order"
+    );
+    for &t in &queued {
+        assert_bit_exact(&mut rt, t, 8, t);
+    }
+    println!("queue wave OK: 3 queued, drained in FIFO order, bit-exact.");
+}
+
+/// Phase 6: band compaction — the acceptance scenario. 13 free rows
+/// fragmented 6+7 on a 16-row grid; first-fit refuses the 13-row retina
+/// matched-filter stage, compaction admits it.
+fn compact_wave() {
+    println!("\n=== compaction wave: 13-row tenant on 13 fragmented free rows ===");
+    let grids = vec![VcgraArch::new(16, 4, 2)];
+    let blocker = kernels::fir_seeded(F, 12, 31); // 23 nodes → 6 rows of 4
+    let survivor = kernels::fir_seeded(F, 5, 32); // 9 nodes → 3 rows
+    let big = kernels::retina_soak_stage(F); // 49 nodes → 13 rows
+
+    // First fit (compaction off): the big tenant can only queue.
+    let cfg = RuntimeConfig { grids: grids.clone(), compact: false, ..RuntimeConfig::default() };
+    let mut rt = Runtime::new(cfg);
+    let b = rt.submit("blocker", blocker.graph.clone()).unwrap().expect_admitted("fits");
+    rt.submit("survivor", survivor.graph.clone()).unwrap().expect_admitted("fits");
+    rt.release(b.tenant).unwrap();
+    let refused = rt.submit(&big.name, big.graph.clone()).unwrap();
+    assert!(
+        refused.is_queued(),
+        "first fit must refuse the 13-row tenant on 13 fragmented rows"
+    );
+    println!(
+        "  first-fit: {} rows free, fragmented 6+7 -> {} queued",
+        rt.pool().free_rows(0),
+        big.name
+    );
+
+    // Same sequence with compaction on.
+    let mut rt = Runtime::new(RuntimeConfig { grids, ..RuntimeConfig::default() });
+    let b = rt.submit("blocker", blocker.graph.clone()).unwrap().expect_admitted("fits");
+    let s = rt.submit("survivor", survivor.graph.clone()).unwrap().expect_admitted("fits");
+    rt.release(b.tenant).unwrap();
+    let adm = rt
+        .submit(&big.name, big.graph.clone())
+        .unwrap()
+        .expect_admitted("compaction makes 13 contiguous rows");
+    let led = rt.ledger();
+    println!(
+        "  compaction: {} admitted on rows {}..{} after {} relocation(s) \
+         (replay charged {})",
+        big.name,
+        adm.lease.row0,
+        adm.lease.row0 + adm.lease.rows - 1,
+        adm.relocations,
+        ms(led.compaction_port_time),
+    );
+    assert_eq!(adm.lease.rows, 13);
+    assert_eq!(adm.relocations, 1);
+    let survivor_lease = rt.tenant(s.tenant).unwrap().lease;
+    assert_eq!((survivor_lease.row0, survivor_lease.epoch), (0, 1), "survivor slid to row 0");
+    println!(
+        "  survivor now at rows 0..2, lease epoch {} (stats: {} relocation)",
+        survivor_lease.epoch,
+        rt.tenant(s.tenant).unwrap().stats.relocations,
+    );
+    assert!(led.compaction_port_time > Duration::ZERO, "replay must be charged");
+
+    // Both the mover and the newcomer stay bit-exact.
+    assert_bit_exact(&mut rt, s.tenant, 8, 61);
+    assert_bit_exact(&mut rt, adm.tenant, 8, 62);
+    println!("compaction wave OK: admitted via compaction, bit-exact across the move.");
+}
+
+/// Phase 7: cache-aware placement on a mixed-width pool, measured against
+/// plain first fit on the identical submission sequence.
+fn cache_wave() {
+    println!("\n=== cache wave: cache-aware placement on a mixed-width pool ===");
+    fn scenario(cache_aware: bool) -> (Runtime, TenantId) {
+        let cfg = RuntimeConfig {
+            grids: vec![VcgraArch::new(6, 4, 2), VcgraArch::new(6, 5, 2)],
+            cache_aware,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(cfg);
+        // A 6-row blocker fills the 4-wide grid...
+        let blocker = rt
+            .submit("blocker", kernels::fir_seeded(F, 12, 71).graph)
+            .unwrap()
+            .expect_admitted("empty pool");
+        // ...so the FIR compiles for the 5-wide grid.
+        let first = rt
+            .submit("fir-a", kernels::fir_seeded(F, 5, 72).graph)
+            .unwrap()
+            .expect_admitted("grid 1 has room");
+        assert_eq!(first.lease.grid, 1);
+        // Free the 4-wide grid: both widths feasible for the next FIR.
+        rt.release(blocker.tenant).unwrap();
+        let second = rt
+            .submit("fir-b", kernels::fir_seeded(F, 5, 73).graph)
+            .unwrap()
+            .expect_admitted("both grids have room");
+        (rt, second.tenant)
+    }
+
+    let (rt_first_fit, _) = scenario(false);
+    let (mut rt_aware, second) = scenario(true);
+    let (ff, aw) = (rt_first_fit.cache_stats(), rt_aware.cache_stats());
+    println!(
+        "  {:<22} {:>6} {:>8} {:>10} {:>10}",
+        "policy", "hits", "misses", "warm rate", "compiles"
+    );
+    println!(
+        "  {:<22} {:>6} {:>8} {:>9.0}% {:>10}",
+        "first-fit",
+        ff.hits,
+        ff.misses,
+        ff.hit_rate() * 100.0,
+        rt_first_fit.ledger().cold_compiles,
+    );
+    println!(
+        "  {:<22} {:>6} {:>8} {:>9.0}% {:>10}",
+        "cache-aware",
+        aw.hits,
+        aw.misses,
+        aw.hit_rate() * 100.0,
+        rt_aware.ledger().cold_compiles,
+    );
+    assert!(
+        aw.hit_rate() > ff.hit_rate(),
+        "cache-aware placement must strictly raise the warm-hit rate \
+         ({:.2} vs {:.2})",
+        aw.hit_rate(),
+        ff.hit_rate()
+    );
+    assert!(rt_aware.ledger().cold_compiles < rt_first_fit.ledger().cold_compiles);
+    assert_eq!(rt_aware.tenant(second).unwrap().lease.grid, 1, "placed on the warm width");
+    assert_bit_exact(&mut rt_aware, second, 8, 81);
+    println!(
+        "cache wave OK: warm-hit rate {:.0}% -> {:.0}%, one compile saved.",
+        ff.hit_rate() * 100.0,
+        aw.hit_rate() * 100.0
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = xbench::smoke_mode();
+    let check = args.iter().any(|a| a == "--check");
+    let only_queue = args.iter().any(|a| a == "--queue");
+    let only_compact = args.iter().any(|a| a == "--compact");
+    let selected = only_queue || only_compact;
+
+    if check || !selected {
+        soak(smoke);
+    }
+    if check || !selected || only_queue {
+        queue_wave();
+    }
+    if check || !selected || only_compact {
+        compact_wave();
+    }
+    if check || !selected {
+        cache_wave();
+    }
+    if check {
+        println!("\nCHECK OK: soak + queue + compaction + cache waves all asserted green.");
+    }
 }

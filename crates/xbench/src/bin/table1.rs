@@ -33,18 +33,23 @@ struct FlowResult {
 fn print_probes(label: &str, rep: &ParReport) {
     println!(
         "\n{label}: place {:.2}s, width search {:.2}s \
-         ({} iterations, {} rip-ups at the final width)",
-        rep.place_seconds, rep.route_seconds, rep.result.iterations, rep.result.ripups
+         ({} iterations, {} rip-ups at the final width; minimum certified: {})",
+        rep.place_seconds,
+        rep.route_seconds,
+        rep.result.iterations,
+        rep.result.ripups,
+        rep.certificate.name(),
     );
     for p in &rep.probes {
         println!(
-            "  width {:>3}: {:<4} {:>8.2}s  {:>2} iters {:>7} rip-ups {:>5} warm nets",
+            "  width {:>3}: {:<4} {:>8.2}s  {:>2} iters {:>7} rip-ups {:>5} warm nets{}",
             p.width,
             if p.success { "ok" } else { "FAIL" },
             p.seconds,
             p.iterations,
             p.ripups,
-            p.warm_nets
+            p.warm_nets,
+            if p.confirm { "  [cold confirm]" } else { "" },
         );
     }
 }
@@ -56,10 +61,11 @@ fn json_flow(f: &FlowResult) -> String {
     );
     if let Some(rep) = &f.rep {
         s.push_str(&format!(
-            ",\n      \"place_seconds\": {:.6},\n      \"route_seconds\": {:.6},\n      \"min_channel_width\": {},\n      \"wirelength\": {},\n      \"tunable_wirelength\": {},\n      \"tcon_switches\": {},\n      \"iterations\": {},\n      \"ripups\": {},\n      \"fabric_size\": {},\n      \"probes\": [",
+            ",\n      \"place_seconds\": {:.6},\n      \"route_seconds\": {:.6},\n      \"min_channel_width\": {},\n      \"width_certificate\": \"{}\",\n      \"wirelength\": {},\n      \"tunable_wirelength\": {},\n      \"tcon_switches\": {},\n      \"iterations\": {},\n      \"ripups\": {},\n      \"fabric_size\": {},\n      \"probes\": [",
             rep.place_seconds,
             rep.route_seconds,
             rep.min_channel_width,
+            rep.certificate.name(),
             rep.result.wirelength,
             rep.result.tunable_wirelength,
             rep.result.tcon_switches,
@@ -72,8 +78,8 @@ fn json_flow(f: &FlowResult) -> String {
                 s.push(',');
             }
             s.push_str(&format!(
-                "\n        {{\"width\": {}, \"success\": {}, \"seconds\": {:.6}, \"iterations\": {}, \"ripups\": {}, \"warm_nets\": {}}}",
-                p.width, p.success, p.seconds, p.iterations, p.ripups, p.warm_nets
+                "\n        {{\"width\": {}, \"success\": {}, \"seconds\": {:.6}, \"iterations\": {}, \"ripups\": {}, \"warm_nets\": {}, \"confirm\": {}}}",
+                p.width, p.success, p.seconds, p.iterations, p.ripups, p.warm_nets, p.confirm
             ));
         }
         s.push_str("\n      ]");
