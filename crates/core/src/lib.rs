@@ -26,6 +26,9 @@
 //!   samples through the PEs using the bit-exact FloPoCo model);
 //! * [`render`] — DOT/ASCII renderings of the grid and the PE (Figs. 1/4).
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
 pub mod app;
 pub mod flow;
 pub mod grid;

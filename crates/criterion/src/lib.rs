@@ -13,6 +13,9 @@
 //! `Cargo.toml` (`[workspace.dependencies] criterion = "0.5"`); no
 //! bench source needs to change.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
 use std::hint;
 use std::time::{Duration, Instant};
 

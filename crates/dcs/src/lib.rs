@@ -16,6 +16,9 @@
 //! [`timing`] prices that operation and reproduces the paper's ~251 ms
 //! per-PE estimate.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
 pub mod ppc;
 pub mod scg;
 pub mod timing;

@@ -12,6 +12,9 @@
 //! * [`frames`] — configuration-frame addressing used by the DCS crate to
 //!   model micro-reconfiguration (read-modify-write of frames).
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
 pub mod arch;
 pub mod frames;
 pub mod rrg;

@@ -43,6 +43,31 @@ impl NodeKind {
     pub fn is_wire(&self) -> bool {
         matches!(self, NodeKind::ChanX { .. } | NodeKind::ChanY { .. })
     }
+
+    /// True for pins (never subject to occupancy accounting — a block's
+    /// nets legitimately share them).
+    pub fn is_pin(&self) -> bool {
+        !self.is_wire()
+    }
+
+    /// The wire's track index; `None` for pins. Static checkers use this
+    /// to prove channel-width conformance of translated trees.
+    pub fn track(&self) -> Option<usize> {
+        match *self {
+            NodeKind::ChanX { t, .. } | NodeKind::ChanY { t, .. } => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Short stable class name (for violation messages and records).
+    pub fn class(&self) -> &'static str {
+        match self {
+            NodeKind::Opin(_) => "opin",
+            NodeKind::Ipin(..) => "ipin",
+            NodeKind::ChanX { .. } => "chanx",
+            NodeKind::ChanY { .. } => "chany",
+        }
+    }
 }
 
 /// The routing-resource graph (CSR adjacency).
@@ -200,7 +225,9 @@ impl RouteGraph {
                 }
             }
         }
-        debug_assert_eq!(kinds.len(), total);
+        // Build-time structural invariant: runs once per graph, so it is
+        // checked in release builds too.
+        assert_eq!(kinds.len(), total, "RRG node enumeration out of sync with id bases");
 
         let chanx = |x: usize, y: usize, t: usize| -> u32 {
             (chanx_base + (y * s + x) * width + t) as u32

@@ -20,6 +20,9 @@
 //! * [`fxhash`] — a fast FxHash-style hasher for the CAD-heavy hash maps
 //!   (see the Rust Performance Book's hashing chapter).
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
 pub mod aig;
 pub mod bdd;
 pub mod fxhash;

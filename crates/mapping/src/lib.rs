@@ -17,11 +17,14 @@
 //! The mapped design ([`design::MappedDesign`]) can be *specialized* for a
 //! concrete parameter assignment (the job of the SCG in the `dcs` crate) and
 //! simulated, which is how every mapping is verified against the source
-//! netlist.
+//! netlist — the equivalence checker itself lives in the `verify` crate
+//! (`verify::equiv`), which this crate's tests call as a dev-dependency.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
 
 pub mod design;
 pub mod mapper;
-pub mod verify;
 
 pub use design::{MapStats, MappedDesign, MappedNode, Source, SpecializedDesign, Tcon, Tlut};
 pub use mapper::{map_conventional, map_parameterized, MapOptions};

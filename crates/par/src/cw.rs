@@ -70,6 +70,9 @@ pub struct ParReport {
     pub place_seconds: f64,
     /// Wall time of the whole width search.
     pub route_seconds: f64,
+    /// Wave-schedule serial-equivalence report from an audited re-route
+    /// at the minimum width (`Some` iff `EngineOptions::audit_waves`).
+    pub wave_audit: Option<verify::VerifyReport>,
 }
 
 /// Routes at a specific width; helper for probes.
@@ -82,7 +85,12 @@ pub fn route_at_width(
 ) -> Option<RouteResult> {
     let graph = RouteGraph::build(arch, width);
     route(netlist, placement, &graph, *opts).ok().map(|r| {
-        debug_assert!(audit(netlist, placement, &graph, &r).is_ok());
+        // A silently-corrupt route would poison everything downstream
+        // (width certificates, Table I figures), so this commit-path
+        // audit runs in release builds too.
+        if let Err(e) = audit(netlist, placement, &graph, &r) {
+            panic!("route audit failed at width {width}: {e}");
+        }
         r
     })
 }

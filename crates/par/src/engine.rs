@@ -55,6 +55,11 @@ pub struct EngineOptions {
     pub min_width: usize,
     /// Width search ceiling; failing here aborts.
     pub max_width: usize,
+    /// After the width search, re-route cold at the minimum width with
+    /// the wave-schedule auditor attached and attach its
+    /// serial-equivalence report to the [`ParReport`]. Costs one extra
+    /// cold routing run; never changes results.
+    pub audit_waves: bool,
 }
 
 impl Default for EngineOptions {
@@ -72,6 +77,7 @@ impl Default for EngineOptions {
             // that wastes PathFinder iterations on hopeless congestion.
             min_width: 6,
             max_width: 96,
+            audit_waves: false,
         }
     }
 }
@@ -117,7 +123,34 @@ impl ParEngine {
         placement: &Placement,
         graph: &RouteGraph,
     ) -> Result<RouteResult, Unroutable> {
-        route_core(netlist, placement, graph, self.opts.route, self.knobs(), None)
+        route_core(netlist, placement, graph, self.opts.route, self.knobs(), None, None)
+    }
+
+    /// One routing run on a prebuilt graph with the wave-schedule auditor
+    /// attached: every wave's actual read/write footprints are checked
+    /// for pairwise serial equivalence. The waves are routed serially
+    /// (footprints and trees are identical to the parallel execution —
+    /// each member's search is pure in the pre-wave snapshot), so this
+    /// observes the parallel schedule without perturbing it. The report
+    /// covers the waves actually scheduled, whether or not routing
+    /// converged.
+    pub fn route_audited(
+        &self,
+        netlist: &ParNetlist,
+        placement: &Placement,
+        graph: &RouteGraph,
+    ) -> (Result<RouteResult, Unroutable>, verify::VerifyReport) {
+        let mut auditor = verify::WaveAuditor::new();
+        let r = route_core(
+            netlist,
+            placement,
+            graph,
+            self.opts.route,
+            self.knobs(),
+            None,
+            Some(&mut auditor),
+        );
+        (r, auditor.finish())
     }
 
     /// Minimum-channel-width search with the per-probe effort log.
@@ -141,10 +174,17 @@ impl ParEngine {
             .min_channel_width(netlist, &placement, arch)
             .ok_or_else(|| format!("unroutable up to width {}", self.opts.max_width))?;
         let route_seconds = t1.elapsed().as_secs_f64();
-        debug_assert!({
-            let graph = RouteGraph::build(arch, search.min_width);
-            audit(netlist, &placement, &graph, &search.result).is_ok()
-        });
+        // Commit-path audit, checked in release builds too: the report's
+        // trees feed configuration generation and the Table I figures.
+        let graph = RouteGraph::build(arch, search.min_width);
+        audit(netlist, &placement, &graph, &search.result)
+            .map_err(|e| format!("route audit failed at width {}: {e}", search.min_width))?;
+        let wave_audit = if self.opts.audit_waves {
+            let (_, report) = self.route_audited(netlist, &placement, &graph);
+            Some(report)
+        } else {
+            None
+        };
         Ok(ParReport {
             arch,
             placement,
@@ -154,6 +194,7 @@ impl ParEngine {
             certificate: search.certificate,
             place_seconds,
             route_seconds,
+            wave_audit,
         })
     }
 }
@@ -190,6 +231,36 @@ mod tests {
         // The winning probe may be warm-started (only broken/congested
         // nets reroute), so the only safe lower bound is "some work ran".
         assert!(rep.result.ripups > 0);
+    }
+
+    #[test]
+    fn audited_route_matches_parallel_and_waves_are_race_free() {
+        let d = map_parameterized(&small_mul_aig(), MapOptions::default());
+        let nl = extract(&d);
+        for threads in [1usize, 2, 4] {
+            let engine = ParEngine::new(EngineOptions { threads, ..Default::default() });
+            let arch = FabricArch::sized_for(nl.logic_count(), nl.io_count());
+            let placement = engine.place(&nl, arch);
+            let graph = RouteGraph::build(arch, 10);
+            let plain = engine.route(&nl, &placement, &graph).expect("routable");
+            let (audited, report) = engine.route_audited(&nl, &placement, &graph);
+            let audited = audited.expect("routable under audit");
+            assert_eq!(plain.trees, audited.trees, "auditing must not perturb routing");
+            assert!(report.ok(), "wave schedule must be serial-equivalent: {}", report.summary());
+            assert!(report.checked > 0, "audit must have observed waves");
+        }
+    }
+
+    #[test]
+    fn audit_waves_option_attaches_report() {
+        let d = map_parameterized(&small_mul_aig(), MapOptions::default());
+        let nl = extract(&d);
+        let rep = ParEngine::new(EngineOptions { audit_waves: true, ..Default::default() })
+            .run(&nl)
+            .expect("routable");
+        let audit = rep.wave_audit.expect("audit_waves must attach a report");
+        assert_eq!(audit.pass, "wave-schedule");
+        assert!(audit.ok(), "{}", audit.summary());
     }
 
     #[test]

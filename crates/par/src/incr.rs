@@ -30,6 +30,7 @@ use fabric::rrg::{NodeState, RouteGraph};
 use logic::fxhash::FxHashSet;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use verify::{WaveAuditor, WaveFootprint};
 
 /// Engine knobs threaded into the core (subset of `EngineOptions` that the
 /// router itself consumes).
@@ -102,6 +103,11 @@ struct Scratch {
     heap: BinaryHeap<(Reverse<u64>, u32)>,
     tree_set: FxHashSet<u32>,
     tree_list: Vec<u32>,
+    /// When set, every node whose occupancy/history the search consults
+    /// (the `step_cost` operand) is appended to `reads` — the read
+    /// footprint the wave auditor checks for serial equivalence.
+    record: bool,
+    reads: Vec<u32>,
 }
 
 impl Scratch {
@@ -113,6 +119,8 @@ impl Scratch {
             heap: BinaryHeap::new(),
             tree_set: FxHashSet::default(),
             tree_list: Vec::new(),
+            record: false,
+            reads: Vec::new(),
         }
     }
 }
@@ -137,7 +145,7 @@ fn route_net(
     bbox: BBox,
     scratch: &mut Scratch,
 ) -> Option<Vec<u32>> {
-    let Scratch { cost_to, prev, touched, heap, tree_set, tree_list } = scratch;
+    let Scratch { cost_to, prev, touched, heap, tree_set, tree_list, record, reads } = scratch;
     tree_set.clear();
     tree_list.clear();
 
@@ -184,6 +192,9 @@ fn route_net(
                 if !bbox.contains(graph.location_f32(next)) {
                     continue;
                 }
+                if *record {
+                    reads.push(next);
+                }
                 push!(next, c_here + state.step_cost(next, pres_fac), node);
             }
         }
@@ -228,6 +239,13 @@ fn build_waves(dirty: &[u32], bboxes: &[BBox]) -> Vec<Vec<usize>> {
 /// the router: non-empty entries are taken as valid routes (the caller
 /// must have verified connectivity in *this* graph), empty entries mark
 /// nets to route from scratch.
+///
+/// When `auditor` is given, every wave's actual read/write footprints are
+/// reported to it for the serial-equivalence check. Audited waves are
+/// routed serially on one scratch — footprints (and trees) are identical
+/// to the parallel execution because each member's search is pure in the
+/// immutable pre-wave snapshot, so serialization only changes *who* runs
+/// a member, never what it touches.
 pub(crate) fn route_core(
     netlist: &ParNetlist,
     placement: &Placement,
@@ -235,6 +253,7 @@ pub(crate) fn route_core(
     opts: RouteOptions,
     knobs: Knobs,
     seed_trees: Option<Vec<Vec<u32>>>,
+    mut auditor: Option<&mut WaveAuditor>,
 ) -> Result<RouteResult, Unroutable> {
     let n_nets = netlist.nets.len();
     let n_nodes = graph.node_count();
@@ -296,7 +315,9 @@ pub(crate) fn route_core(
 
     let mut state = NodeState::new(graph);
     let mut trees: Vec<Vec<u32>> = seed_trees.unwrap_or_else(|| vec![Vec::new(); n_nets]);
-    debug_assert_eq!(trees.len(), n_nets);
+    // Checked in release builds too: a seed-tree/netlist length mismatch
+    // would silently misattribute routes to the wrong nets.
+    assert_eq!(trees.len(), n_nets, "seed trees must match the netlist net count");
     for t in &trees {
         for &n in t {
             state.occupy(n);
@@ -363,6 +384,13 @@ pub(crate) fn route_core(
 
         let mut deferred: Vec<u32> = Vec::new();
         for wave in &waves {
+            // The write footprint of a member includes the tree it is
+            // about to rip — capture old trees before the rip-up.
+            let old_writes: Vec<Vec<u32>> = if auditor.is_some() {
+                wave.iter().map(|&pos| trees[dirty[pos] as usize].clone()).collect()
+            } else {
+                Vec::new()
+            };
             // Rip up this wave's nets only, right before rerouting them —
             // later waves keep occupying their old wires so the snapshot
             // the wave searches against stays faithful to the serial
@@ -375,10 +403,17 @@ pub(crate) fn route_core(
                 }
                 trees[i].clear();
             }
-            let results = route_wave(
-                graph, &state, &opts, pres_fac, &dirty, wave, &bboxes, &srcs, &sinks,
-                &mut scratches,
-            );
+            let results = if let Some(aud) = auditor.as_deref_mut() {
+                audited_wave(
+                    graph, &state, &opts, pres_fac, &dirty, wave, &bboxes, &srcs, &sinks,
+                    &mut scratches[0], &old_writes, iter, aud,
+                )
+            } else {
+                route_wave(
+                    graph, &state, &opts, pres_fac, &dirty, wave, &bboxes, &srcs, &sinks,
+                    &mut scratches,
+                )
+            };
             for (net, res) in results {
                 match res {
                     Some(tree) => {
@@ -523,6 +558,53 @@ fn route_wave(
             out.extend(h.join().expect("router worker panicked"));
         }
     });
+    out
+}
+
+/// Routes one wave serially while recording each member's actual
+/// read/write footprint and reporting the wave to the auditor. The trees
+/// are exactly those `route_wave` would produce — each member's search is
+/// pure in the shared pre-wave snapshot — so auditing never perturbs the
+/// routing result, only observes it.
+#[allow(clippy::too_many_arguments)]
+fn audited_wave(
+    graph: &RouteGraph,
+    state: &NodeState,
+    opts: &RouteOptions,
+    pres_fac: f64,
+    dirty: &[u32],
+    wave: &[usize],
+    bboxes: &[BBox],
+    srcs: &[Vec<u32>],
+    sinks: &[Vec<u32>],
+    scratch: &mut Scratch,
+    old_writes: &[Vec<u32>],
+    iteration: usize,
+    auditor: &mut WaveAuditor,
+) -> Vec<(u32, Option<Vec<u32>>)> {
+    scratch.record = true;
+    let mut members: Vec<WaveFootprint> = Vec::with_capacity(wave.len());
+    let mut out = Vec::with_capacity(wave.len());
+    for (k, &pos) in wave.iter().enumerate() {
+        scratch.reads.clear();
+        let net = dirty[pos] as usize;
+        let tree = route_net(
+            graph, state, opts, pres_fac, &srcs[net], &sinks[net], bboxes[pos], scratch,
+        );
+        let mut reads = std::mem::take(&mut scratch.reads);
+        reads.sort_unstable();
+        reads.dedup();
+        let mut writes = old_writes[k].clone();
+        if let Some(t) = &tree {
+            writes.extend_from_slice(t);
+        }
+        writes.sort_unstable();
+        writes.dedup();
+        members.push(WaveFootprint { net: net as u32, reads, writes });
+        out.push((net as u32, tree));
+    }
+    scratch.record = false;
+    auditor.observe_wave(iteration, &members);
     out
 }
 

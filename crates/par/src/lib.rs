@@ -22,6 +22,9 @@
 //! * [`cw`] — the stable options-light API ([`cw::full_par`]) that
 //!   produces the WL/CW columns of Table I, now backed by the engine.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
 pub mod cw;
 pub mod engine;
 mod incr;

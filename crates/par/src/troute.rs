@@ -23,7 +23,7 @@ use crate::incr::{route_core, Knobs};
 use crate::netlist::ParNetlist;
 use crate::tplace::Placement;
 use fabric::rrg::RouteGraph;
-use logic::fxhash::FxHashSet;
+use verify::NetTerminals;
 
 /// Router options.
 #[derive(Debug, Clone, Copy)]
@@ -98,56 +98,52 @@ pub fn route(
     graph: &RouteGraph,
     opts: RouteOptions,
 ) -> Result<RouteResult, Unroutable> {
-    route_core(netlist, placement, graph, opts, Knobs::default(), None)
+    route_core(netlist, placement, graph, opts, Knobs::default(), None, None)
 }
 
-/// Audits a routing result: every sink must be reachable from one of the
-/// net's sources through the tree's nodes, and no wire may be used by two
-/// different nets. Used by tests and by the benches before reporting.
+/// Terminal sets of every net, lifted into RRG node space — the input the
+/// `verify` crate's route-tree linter checks trees against.
+pub fn terminals(
+    netlist: &ParNetlist,
+    placement: &Placement,
+    graph: &RouteGraph,
+) -> Vec<NetTerminals> {
+    netlist
+        .nets
+        .iter()
+        .map(|n| NetTerminals {
+            sources: n
+                .sources
+                .iter()
+                .map(|&b| graph.opin(placement.site_of[b as usize]))
+                .collect(),
+            sinks: n
+                .sinks
+                .iter()
+                .map(|&(b, p)| graph.ipin(placement.site_of[b as usize], p as usize))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Audits a routing result by delegating to the `verify` crate's
+/// route-tree linter: every sink reachable from a source through the
+/// tree's own nodes, no stranded nodes, no wire shared by two different
+/// nets, all node ids and tracks in range. Used by tests, the benches,
+/// and the engine's commit path.
 pub fn audit(
     netlist: &ParNetlist,
     placement: &Placement,
     graph: &RouteGraph,
     result: &RouteResult,
 ) -> Result<(), String> {
-    let mut owner: Vec<Option<u32>> = vec![None; graph.node_count()];
-    for (i, tree) in result.trees.iter().enumerate() {
-        let set: FxHashSet<u32> = tree.iter().copied().collect();
-        // Connectivity: BFS within tree from sources.
-        let mut reach: FxHashSet<u32> = FxHashSet::default();
-        let mut queue: Vec<u32> = Vec::new();
-        for &b in &netlist.nets[i].sources {
-            let s = graph.opin(placement.site_of[b as usize]);
-            if set.contains(&s) {
-                queue.push(s);
-                reach.insert(s);
-            }
-        }
-        while let Some(n) = queue.pop() {
-            for &e in graph.edges(n) {
-                if set.contains(&e) && reach.insert(e) {
-                    queue.push(e);
-                }
-            }
-        }
-        for &(b, p) in &netlist.nets[i].sinks {
-            let sink = graph.ipin(placement.site_of[b as usize], p as usize);
-            if !reach.contains(&sink) {
-                return Err(format!("net {i}: sink {sink} not reached"));
-            }
-        }
-        for &n in tree {
-            if graph.kind(n).is_wire() {
-                if let Some(o) = owner[n as usize] {
-                    if o != i as u32 {
-                        return Err(format!("wire {n} shared by nets {o} and {i}"));
-                    }
-                }
-                owner[n as usize] = Some(i as u32);
-            }
-        }
+    let nets = terminals(netlist, placement, graph);
+    let violations = verify::routes::check_route_trees(graph, &nets, &result.trees);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; "))
     }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -255,7 +255,7 @@ fn probe(
         );
     }
     let t0 = std::time::Instant::now();
-    let r = route_core(netlist, placement, graph, opts.route, knobs, seed);
+    let r = route_core(netlist, placement, graph, opts.route, knobs, seed, None);
     let seconds = t0.elapsed().as_secs_f64();
     let (success, iterations, ripups) = match &r {
         Ok(res) => (true, res.iterations, res.ripups),
@@ -294,6 +294,9 @@ fn translate_trees(
     new: &RouteGraph,
     trees: &[Vec<u32>],
 ) -> Vec<Vec<u32>> {
+    // Translating between different fabrics would silently produce
+    // garbage seeds; cheap enough to check in release builds.
+    assert_eq!(old.arch, new.arch, "warm-start translation requires the same fabric");
     let mut reach: FxHashSet<u32> = FxHashSet::default();
     let mut queue: Vec<u32> = Vec::new();
     netlist

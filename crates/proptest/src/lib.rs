@@ -16,6 +16,9 @@
 //! normal assert panic message. Swapping back to real proptest is a
 //! one-line `Cargo.toml` change; the test source is already compatible.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
 /// Deterministic SplitMix64 (same algorithm as `logic::rng::SplitMix64`,
 /// duplicated here so this stub stays dependency-free).
 pub struct TestRng {

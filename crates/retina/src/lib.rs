@@ -13,6 +13,9 @@
 //! branching vessel trees) with exact ground truth, which lets the
 //! pipeline be scored quantitatively.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
 pub mod filters;
 pub mod image;
 pub mod pipeline;

@@ -59,6 +59,28 @@ pub struct ConfigKey {
 }
 
 impl ConfigKey {
+    /// Region shape the key names, `(rows, cols)`.
+    pub fn region(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Nodes in the key's structure.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Stable-within-a-process fingerprint of the key: the hash the cache
+    /// map buckets by. The verifier cross-checks these against an
+    /// independently derived structural signature, so an `Eq`/`Hash`
+    /// inconsistency here cannot silently serve one tenant another's
+    /// circuit.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
     /// Builds the key for a graph compiled onto a region architecture.
     pub fn new(region: VcgraArch, app: &AppGraph) -> Self {
         ConfigKey {
@@ -191,6 +213,13 @@ impl ConfigCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Iterates the live entries (key, cached configuration), in no
+    /// particular order — the verifier walks these to cross-check every
+    /// entry against the region its key names.
+    pub fn entries(&self) -> impl Iterator<Item = (&ConfigKey, &CachedConfig)> {
+        self.entries.iter().map(|(k, (cfg, _))| (k, cfg.as_ref()))
     }
 }
 

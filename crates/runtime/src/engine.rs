@@ -91,7 +91,7 @@ pub fn run_bands(bands: Vec<BandWork<'_>>, workers: usize, batch_size: usize) ->
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| loop {
-                let band = match queue.lock().unwrap().pop_front() {
+                let band = match queue.lock().expect("band queue mutex poisoned").pop_front() {
                     Some(b) => b,
                     None => break,
                 };
@@ -123,11 +123,11 @@ pub fn run_bands(bands: Vec<BandWork<'_>>, workers: usize, batch_size: usize) ->
                         switch_port_time: band.switch_cost * switches as u32,
                     });
                 }
-                results.lock().unwrap().extend(runs);
+                results.lock().expect("result mutex poisoned").extend(runs);
             });
         }
     });
-    let mut out = results.into_inner().unwrap();
+    let mut out = results.into_inner().expect("result mutex poisoned");
     out.sort_by_key(|r| r.tenant);
     out
 }

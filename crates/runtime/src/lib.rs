@@ -56,6 +56,17 @@
 //! The `xbench` binary `serve` drives a mixed-tenant soak over this crate
 //! and prints the throughput/ledger tables; the integration tests pin the
 //! runtime's outputs bit-for-bit to `vcgra::sim::run_dataflow`.
+//!
+//! **Verification.** [`runtime::Runtime::snapshot`] exports the whole
+//! scheduler state as plain data for the `verify` crate's sched pass
+//! (lease/band disjointness, row conservation, queue/ledger
+//! reconciliation, cache-key soundness);
+//! [`runtime::RuntimeConfig::verify_on_admit`] runs that pass after every
+//! mutating operation and fails it on a broken invariant.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod engine;

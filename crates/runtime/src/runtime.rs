@@ -88,6 +88,11 @@ pub struct RuntimeConfig {
     /// can be carved (even by compaction). Off, the runtime prefers
     /// queueing latency over per-context-switch reconfiguration cost.
     pub time_share: bool,
+    /// Run the scheduler-state verifier after every mutating operation
+    /// (`submit`/`resubmit`/`run`/`release`) and fail the operation with
+    /// [`RuntimeError::Invariant`] if any invariant is violated. Off by
+    /// default; the serve driver's `--verify` mode turns it on.
+    pub verify_on_admit: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -104,6 +109,7 @@ impl Default for RuntimeConfig {
             compact: true,
             cache_aware: true,
             time_share: true,
+            verify_on_admit: false,
         }
     }
 }
@@ -141,6 +147,10 @@ pub enum RuntimeError {
         /// Nodes in the graph.
         nodes: usize,
     },
+    /// The scheduler-state verifier found a broken invariant
+    /// (`RuntimeConfig::verify_on_admit`). The string lists every
+    /// violation the sched pass reported.
+    Invariant(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -160,6 +170,9 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::NodeOutOfRange { node, nodes } => {
                 write!(f, "node {node} out of range, graph has {nodes} nodes")
+            }
+            RuntimeError::Invariant(detail) => {
+                write!(f, "scheduler invariant violated: {detail}")
             }
         }
     }
@@ -450,15 +463,19 @@ impl Runtime {
         // queueing it would only defer the TooBig to a silent drop.
         if self.cfg.queue && !self.queue.is_empty() {
             self.pool.fits_any_grid(graph.pe_demand())?;
-            return Ok(Admission::Queued(self.enqueue(id, name, graph)));
+            let queued = self.enqueue(id, name, graph);
+            self.enforce_invariants()?;
+            return Ok(Admission::Queued(queued));
         }
-        match self.place_and_admit(id, &name, &graph) {
-            Ok(adm) => Ok(Admission::Admitted(adm)),
+        let admission = match self.place_and_admit(id, &name, &graph) {
+            Ok(adm) => Admission::Admitted(adm),
             Err(RuntimeError::Pool(PoolError::Oversubscribed { .. })) if self.cfg.queue => {
-                Ok(Admission::Queued(self.enqueue(id, name, graph)))
+                Admission::Queued(self.enqueue(id, name, graph))
             }
-            Err(e) => Err(e),
-        }
+            Err(e) => return Err(e),
+        };
+        self.enforce_invariants()?;
+        Ok(admission)
     }
 
     fn enqueue(&mut self, tenant: TenantId, name: String, graph: AppGraph) -> Queued {
@@ -727,7 +744,7 @@ impl Runtime {
     ) -> Result<SwapReport, RuntimeError> {
         let grid_arch = self.pool.grid_archs()[self.tenants[&tenant].lease.grid];
         let report = self.pricer.price_swap((grid_arch.rows, grid_arch.cols), &changes);
-        let t = self.tenants.get_mut(&tenant).unwrap();
+        let t = self.tenants.get_mut(&tenant).expect("caller verified the tenant is live");
         let cols = t.mapping.arch.cols;
         for ch in &changes {
             let (r, c) = (ch.cell.0 - t.lease.row0, ch.cell.1);
@@ -783,7 +800,10 @@ impl Runtime {
         self.resident.retain(|_, &mut r| r != tenant);
         let refresh = match self.place_and_admit(tenant, &name, &graph) {
             Ok(admission) => {
-                self.tenants.get_mut(&tenant).unwrap().stats = stats;
+                self.tenants
+                    .get_mut(&tenant)
+                    .expect("place_and_admit inserted the tenant")
+                    .stats = stats;
                 Refresh::Recompiled(admission)
             }
             Err(RuntimeError::Pool(PoolError::Oversubscribed { .. })) if self.cfg.queue => {
@@ -798,6 +818,7 @@ impl Runtime {
         };
         // A smaller replacement region may have freed rows for waiters.
         self.drain_queue();
+        self.enforce_invariants()?;
         Ok(refresh)
     }
 
@@ -843,7 +864,7 @@ impl Runtime {
                     .resident
                     .get(&(grid, row0))
                     .is_some_and(|&r| r != reqs[0].tenant);
-                next_resident.push(((grid, row0), reqs.last().unwrap().tenant));
+                next_resident.push(((grid, row0), reqs.last().expect("band group is non-empty").tenant));
                 bands.push(BandWork {
                     shared,
                     swap_in_first,
@@ -868,7 +889,11 @@ impl Runtime {
         self.resident.extend(next_resident);
 
         for run in &runs {
-            let stats = &mut self.tenants.get_mut(&run.tenant).unwrap().stats;
+            let stats = &mut self
+                .tenants
+                .get_mut(&run.tenant)
+                .expect("runs only cover tenants validated live above")
+                .stats;
             stats.items += run.items;
             stats.batches += run.batches;
             stats.exec_time += run.exec_time;
@@ -879,6 +904,7 @@ impl Runtime {
             self.ledger.context_switches += run.context_switches;
             self.ledger.switch_port_time += run.switch_port_time;
         }
+        self.enforce_invariants()?;
         Ok(runs)
     }
 
@@ -890,14 +916,18 @@ impl Runtime {
             self.queue.remove(pos);
             self.ledger.queue_cancelled += 1;
             // Cancelling the head may unblock everyone behind it.
-            return Ok(self.drain_queue());
+            let admitted = self.drain_queue();
+            self.enforce_invariants()?;
+            return Ok(admitted);
         }
         self.tenants
             .remove(&tenant)
             .ok_or(RuntimeError::UnknownTenant(tenant))?;
         self.pool.release(tenant);
         self.resident.retain(|_, &mut r| r != tenant);
-        Ok(self.drain_queue())
+        let admitted = self.drain_queue();
+        self.enforce_invariants()?;
+        Ok(admitted)
     }
 
     /// Read access to one tenant.
@@ -949,5 +979,87 @@ impl Runtime {
     /// The runtime's configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.cfg
+    }
+
+    /// Exports the whole scheduler state as a plain-data snapshot for the
+    /// `verify` crate's sched pass: grids, bands, leases, the admission
+    /// queue, the resident map, the queue-flow ledger counters, and every
+    /// cache entry. Tenant snapshots carry both the runtime's own cache-key
+    /// fingerprint and an independently derived structural signature so
+    /// the pass can prove key soundness without trusting `ConfigKey`.
+    pub fn snapshot(&self) -> verify::SchedSnapshot {
+        use verify::sched::{BandSnap, CacheEntrySnap, GridSnap, LedgerSnap, StructureSig, TenantSnap};
+        let archs = self.pool.grid_archs();
+        let cap = self.pool.channel_capacity();
+        verify::SchedSnapshot {
+            grids: archs
+                .iter()
+                .enumerate()
+                .map(|(g, a)| GridSnap { rows: a.rows, cols: a.cols, free_rows: self.pool.free_rows(g) })
+                .collect(),
+            bands: self
+                .pool
+                .bands()
+                .into_iter()
+                .map(|b| BandSnap { grid: b.grid, row0: b.row0, rows: b.rows, tenants: b.tenants })
+                .collect(),
+            tenants: self
+                .tenants
+                .values()
+                .map(|t| TenantSnap {
+                    id: t.id,
+                    grid: t.lease.grid,
+                    row0: t.lease.row0,
+                    rows: t.lease.rows,
+                    cols: t.lease.cols,
+                    shared: t.lease.shared,
+                    demand: t.graph.pe_demand(),
+                    region: (t.mapping.arch.rows, t.mapping.arch.cols),
+                    placed_nodes: t.mapping.place.len(),
+                    key_id: t.key.fingerprint(),
+                    sig: StructureSig::of(t.mapping.arch.rows, t.mapping.arch.cols, cap, &t.graph),
+                })
+                .collect(),
+            queue: self.queue.iter().map(|p| p.tenant).collect(),
+            resident: self.resident.iter().map(|(&(g, r), &t)| (g, r, t)).collect(),
+            ledger: LedgerSnap {
+                queued: self.ledger.queued as u64,
+                queue_admitted: self.ledger.queue_admitted as u64,
+                queue_dropped: self.ledger.queue_dropped as u64,
+                queue_cancelled: self.ledger.queue_cancelled as u64,
+            },
+            cache: self
+                .cache
+                .entries()
+                .map(|(k, cfg)| CacheEntrySnap {
+                    key_id: k.fingerprint(),
+                    region: k.region(),
+                    mapping_region: (cfg.mapping.arch.rows, cfg.mapping.arch.cols),
+                    key_nodes: k.node_count(),
+                    placed_nodes: cfg.mapping.place.len(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs the scheduler-state verifier over [`Runtime::snapshot`].
+    pub fn verify(&self) -> verify::VerifyReport {
+        verify::Verifier::new().verify_sched(&self.snapshot())
+    }
+
+    /// With `verify_on_admit` set, fails the enclosing operation when the
+    /// sched pass finds a violated invariant.
+    fn enforce_invariants(&self) -> Result<(), RuntimeError> {
+        if !self.cfg.verify_on_admit {
+            return Ok(());
+        }
+        let report = self.verify();
+        if report.ok() {
+            Ok(())
+        } else {
+            let details: Vec<String> =
+                report.violations.iter().map(|v| format!("[{}] {v}", v.code())).collect();
+            Err(RuntimeError::Invariant(details.join("; ")))
+        }
     }
 }

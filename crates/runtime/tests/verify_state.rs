@@ -1,0 +1,80 @@
+//! Scheduler-state verification tests: a churn soak under
+//! `verify_on_admit` (every mutating operation re-proves the admission
+//! invariants), and snapshot sanity for the exported plain-data view.
+
+use runtime::kernels;
+use runtime::{Admission, Runtime, RuntimeConfig, StreamRequest};
+use softfloat::{FpFormat, FpValue};
+use vcgra::VcgraArch;
+
+const F: FpFormat = FpFormat::PAPER;
+
+fn stream(n: usize, items: usize, salt: u64) -> Vec<Vec<FpValue>> {
+    let mut rng = logic::SplitMix64::new(0xFEED ^ salt);
+    (0..items)
+        .map(|_| (0..n).map(|_| FpValue::from_f64((rng.unit_f64() - 0.5) * 8.0, F)).collect())
+        .collect()
+}
+
+#[test]
+fn churn_soak_verifies_after_every_operation() {
+    // Mixed pool, everything on: queueing, compaction, time-sharing,
+    // cache-aware placement — and the verifier gating every operation.
+    let cfg = RuntimeConfig {
+        grids: vec![VcgraArch::new(6, 4, 2), VcgraArch::new(8, 4, 2)],
+        verify_on_admit: true,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(cfg);
+
+    // Fill the pool past capacity so some submissions queue.
+    let mut tenants = Vec::new();
+    for (i, taps) in [3usize, 5, 8, 3, 12, 4].iter().enumerate() {
+        let adm = rt
+            .submit(format!("t{i}"), kernels::fir_seeded(F, *taps, i as u64 + 1).graph)
+            .expect("verified submit");
+        if let Admission::Admitted(a) = adm {
+            tenants.push(a.tenant);
+        }
+    }
+    assert!(!tenants.is_empty());
+
+    // Stream through the placed tenants.
+    for &t in &tenants {
+        let graph = rt.tenant(t).expect("live").graph.clone();
+        rt.run(vec![StreamRequest { tenant: t, inputs: stream(graph.num_inputs, 8, t) }])
+            .expect("verified run");
+    }
+
+    // Structural refresh on one tenant, then churn releases (each drains
+    // the queue, each re-verified).
+    let first = tenants[0];
+    rt.resubmit(first, kernels::fir_seeded(F, 6, 99).graph).expect("verified resubmit");
+    for &t in &tenants {
+        rt.release(t).expect("verified release");
+    }
+
+    // Final state re-proves clean explicitly.
+    let report = rt.verify();
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(report.pass, "sched");
+}
+
+#[test]
+fn snapshot_reflects_live_state() {
+    let mut rt = Runtime::new(RuntimeConfig {
+        grids: vec![VcgraArch::new(6, 4, 2)],
+        ..RuntimeConfig::default()
+    });
+    let a = rt
+        .submit("a", kernels::fir_seeded(F, 3, 1).graph)
+        .expect("submit")
+        .expect_admitted("empty pool");
+    let snap = rt.snapshot();
+    assert_eq!(snap.grids.len(), 1);
+    assert_eq!(snap.tenants.len(), 1);
+    assert_eq!(snap.tenants[0].id, a.tenant);
+    assert_eq!(snap.bands.len(), 1);
+    assert!(!snap.cache.is_empty(), "the admission compiled into the cache");
+    assert!(verify::sched::check_sched(&snap).is_empty());
+}

@@ -17,6 +17,9 @@
 //! checked against each other exhaustively on narrow formats and
 //! stochastically on the paper's (6, 26) format.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+
 pub mod format;
 pub mod gates;
 pub mod gen;

@@ -1,0 +1,254 @@
+//! Pass 1a — the overlay configuration linter.
+//!
+//! Takes a routed [`VcgraMapping`] together with the [`AppGraph`] it claims
+//! to implement and statically proves, without executing anything:
+//!
+//! * **placement sanity** — every node placed, in bounds, one node per PE;
+//! * **route integrity** — exactly the graph's dataflow edges are routed,
+//!   every path is a contiguous *simple* path (adjacent cells, no revisits
+//!   — per-path acyclicity) between the placed endpoints;
+//! * **channel-width conformance** — no directed channel segment carries
+//!   more paths than `arch.channel_capacity`;
+//! * **settings agreement** — placed cells carry settings whose mode,
+//!   coefficient and floating-point format match the node; unused cells
+//!   carry none; `settings_words()` covers every settings register;
+//! * **frame-address consistency** — every settings register and every
+//!   datapath routing cell addresses a frame inside
+//!   [`FrameModel::for_grid`]'s space, and the datapath (routing) frames
+//!   stay out of the settings plane.
+
+use crate::Violation;
+use fabric::arch::Site;
+use fabric::frames::FrameModel;
+use std::collections::HashMap;
+use vcgra::app::{AppGraph, AppSource};
+use vcgra::flow::VcgraMapping;
+
+/// Runs every configuration check; returns all violations found.
+pub fn check_mapping(app: &AppGraph, mapping: &VcgraMapping) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let arch = mapping.arch;
+    let n = app.nodes.len();
+
+    if mapping.place.len() != n {
+        out.push(Violation::NodeCountMismatch { expected: n, got: mapping.place.len() });
+        // Node indices are unreliable past this point.
+        return out;
+    }
+
+    // --- placement ---
+    let mut cell_of: HashMap<(usize, usize), usize> = HashMap::new();
+    for (i, &cell) in mapping.place.iter().enumerate() {
+        if cell.0 >= arch.rows || cell.1 >= arch.cols {
+            out.push(Violation::PlacementOutOfBounds { node: i, cell });
+            continue;
+        }
+        if let Some(&j) = cell_of.get(&cell) {
+            out.push(Violation::PlacementOverlap { cell, nodes: (j, i) });
+        } else {
+            cell_of.insert(cell, i);
+        }
+    }
+
+    // --- routes: cover exactly the graph's dataflow edges ---
+    let mut want: HashMap<(usize, usize), isize> = HashMap::new();
+    for (i, node) in app.nodes.iter().enumerate() {
+        for s in [node.a, node.b] {
+            if let AppSource::Node(j) = s {
+                *want.entry((j, i)).or_insert(0) += 1;
+            }
+        }
+    }
+    for (e, r) in mapping.routes.iter().enumerate() {
+        if r.from >= n || r.to >= n {
+            out.push(Violation::RouteUnknown { edge: e });
+            continue;
+        }
+        match want.get_mut(&(r.from, r.to)) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => out.push(Violation::RouteUnknown { edge: e }),
+        }
+    }
+    for (&(from, to), &missing) in &want {
+        for _ in 0..missing.max(0) {
+            out.push(Violation::RouteMissing { from, to });
+        }
+    }
+
+    // --- per-path integrity + channel usage ---
+    let mut usage: HashMap<((usize, usize), u8), usize> = HashMap::new();
+    for (e, r) in mapping.routes.iter().enumerate() {
+        if r.from >= n || r.to >= n {
+            continue; // already reported as RouteUnknown
+        }
+        if r.path.is_empty() {
+            out.push(Violation::PathBroken { edge: e, step: 0 });
+            continue;
+        }
+        let (first, last) = (r.path[0], *r.path.last().expect("non-empty path"));
+        if first != mapping.place[r.from] {
+            out.push(Violation::RouteEndpointMismatch {
+                edge: e,
+                want: mapping.place[r.from],
+                got: first,
+            });
+        }
+        if last != mapping.place[r.to] {
+            out.push(Violation::RouteEndpointMismatch {
+                edge: e,
+                want: mapping.place[r.to],
+                got: last,
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (s, &cell) in r.path.iter().enumerate() {
+            if cell.0 >= arch.rows || cell.1 >= arch.cols {
+                out.push(Violation::PathBroken { edge: e, step: s });
+            }
+            if !seen.insert(cell) {
+                out.push(Violation::PathRevisitsCell { edge: e, cell });
+            }
+        }
+        for (s, w) in r.path.windows(2).enumerate() {
+            let (a, b) = (w[0], w[1]);
+            let dir = match (b.0 as i64 - a.0 as i64, b.1 as i64 - a.1 as i64) {
+                (0, 1) => 0u8,
+                (0, -1) => 1,
+                (1, 0) => 2,
+                (-1, 0) => 3,
+                _ => {
+                    out.push(Violation::PathBroken { edge: e, step: s + 1 });
+                    continue;
+                }
+            };
+            *usage.entry((a, dir)).or_insert(0) += 1;
+        }
+    }
+    let mut over: Vec<_> = usage
+        .iter()
+        .filter(|(_, &used)| used > arch.channel_capacity)
+        .map(|(&(cell, dir), &used)| Violation::ChannelOverCapacity {
+            cell,
+            dir,
+            used,
+            capacity: arch.channel_capacity,
+        })
+        .collect();
+    over.sort_by_key(|v| match v {
+        Violation::ChannelOverCapacity { cell, dir, .. } => (*cell, *dir),
+        _ => unreachable!(),
+    });
+    out.extend(over);
+
+    // --- settings agreement ---
+    for (i, node) in app.nodes.iter().enumerate() {
+        let cell = mapping.place[i];
+        if cell.0 >= arch.rows || cell.1 >= arch.cols {
+            continue; // already reported
+        }
+        let idx = cell.0 * arch.cols + cell.1;
+        match mapping.pe_settings.get(idx).and_then(|s| s.as_ref()) {
+            None => out.push(Violation::SettingsMissing { node: i, cell }),
+            Some(s) => {
+                if s.mode != node.op {
+                    out.push(Violation::ModeMismatch { node: i });
+                }
+                if s.coeff.format.we != app.format.we || s.coeff.format.wf != app.format.wf {
+                    out.push(Violation::FormatMismatch { node: i });
+                }
+                if let Some(c) = node.coeff {
+                    if s.coeff.bits != c.bits {
+                        out.push(Violation::CoeffMismatch { node: i });
+                    }
+                }
+            }
+        }
+    }
+    for (idx, s) in mapping.pe_settings.iter().enumerate() {
+        let cell = (idx / arch.cols, idx % arch.cols);
+        if s.is_some() && !cell_of.contains_key(&cell) {
+            out.push(Violation::SettingsOnEmptyCell { cell });
+        }
+    }
+
+    let words = mapping.settings_words();
+    if words.len() != arch.settings_register_count() {
+        out.push(Violation::SettingsWordCount {
+            expected: arch.settings_register_count(),
+            got: words.len(),
+        });
+    }
+
+    // --- frame-address consistency ---
+    let fm = FrameModel::for_grid(arch.rows, arch.cols);
+    let frames = fm.frame_count() as usize;
+    let settings_plane = fm.lut_frame(Site::Logic { x: arch.cols - 1, y: arch.rows - 1 }) as usize;
+    for &cell in cell_of.keys() {
+        let frame = fm.lut_frame(Site::Logic { x: cell.1, y: cell.0 }) as usize;
+        if frame >= frames {
+            out.push(Violation::FrameOutOfRange { cell, frame, frames });
+        }
+    }
+    for r in &mapping.routes {
+        for &cell in &r.path {
+            if cell.0 >= arch.rows || cell.1 >= arch.cols {
+                continue;
+            }
+            let frame = fm.routing_frame(cell.1, cell.0) as usize;
+            // Datapath frames must address the routing plane: inside the
+            // frame space and past every settings-register frame.
+            if frame >= frames || frame <= settings_plane {
+                out.push(Violation::FrameOutOfRange { cell, frame, frames });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::FpFormat;
+    use vcgra::flow::map_app;
+    use vcgra::VcgraArch;
+
+    const F: FpFormat = FpFormat::PAPER;
+
+    #[test]
+    fn real_mappings_are_clean() {
+        let arch = VcgraArch::paper_4x4();
+        for (s, app) in [
+            AppGraph::dot_product(F, &[1.0, 2.0, 3.0, 4.0, 5.0]),
+            AppGraph::mac_chain(F, &[0.5, 0.25, 0.125]),
+            AppGraph::scaling_cascade(F, &[1.0; 6]),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let m = map_app(app, arch, s as u64 + 1).expect("mappable");
+            let v = check_mapping(app, &m);
+            assert!(v.is_empty(), "seed {s}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn endpoint_and_adjacency_corruptions_are_caught() {
+        let app = AppGraph::mac_chain(F, &[0.5, 0.25, 0.125]);
+        let m = map_app(&app, VcgraArch::paper_4x4(), 7).expect("mappable");
+
+        let mut bad = m.clone();
+        let from_cell = bad.place[bad.routes[0].from];
+        bad.routes[0].path[0] = ((from_cell.0 + 1) % 4, from_cell.1);
+        assert!(check_mapping(&app, &bad)
+            .iter()
+            .any(|v| matches!(v, Violation::RouteEndpointMismatch { .. })));
+
+        let mut bad = m;
+        let first = bad.routes[0].path[0];
+        bad.routes[0].path.push(first); // revisit (and break adjacency/endpoint)
+        assert!(check_mapping(&app, &bad)
+            .iter()
+            .any(|v| matches!(v, Violation::PathRevisitsCell { .. })));
+    }
+}

@@ -1,4 +1,6 @@
-//! Equivalence checking between a source AIG and its mapped design.
+//! Equivalence checking between a source AIG and its mapped design
+//! (absorbed from `mapping::verify` — the mapping crate's tests and the
+//! repo's examples now call in here).
 //!
 //! For a set of parameter assignments (always including all-zeros and
 //! all-ones, plus random draws), the mapped design is specialized and
@@ -6,11 +8,11 @@
 //! to constants. This validates the *entire* parameterized flow: PTT
 //! computation, TLUT extraction, TCON covers and the specialization logic.
 
-use crate::design::MappedDesign;
 use logic::aig::{Aig, InputKind};
 use logic::fxhash::FxHashMap;
 use logic::rng::SplitMix64;
 use logic::sim::simulate_u64;
+use mapping::MappedDesign;
 
 /// Checks AIG-vs-mapped equivalence over `param_draws` random parameter
 /// assignments (plus the two constant corner assignments), with 4 batches of

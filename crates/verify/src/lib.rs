@@ -1,0 +1,744 @@
+//! Static invariant proving for VCGRA artifacts — **before they execute**.
+//!
+//! The runtime's whole safety story (PR 4's wave-parallel router, PR 5's
+//! admission layer) rests on invariants that used to live in scattered
+//! `debug_assert!`s and dynamic tests: route trees own their wires
+//! exclusively, wave members never touch each other's state, leases never
+//! overlap, cache keys never alias. This crate turns each of those claims
+//! into a checkable *pass* over a plain-data artifact, behind one
+//! [`Verifier`] facade that produces a machine-readable [`VerifyReport`]:
+//!
+//! * [`config`] — lints a routed [`vcgra::flow::VcgraMapping`] against its
+//!   [`vcgra::app::AppGraph`]: placement sanity, contiguous simple route
+//!   paths, channel-capacity conformance, PE settings/format agreement and
+//!   configuration-frame addressing.
+//! * [`routes`] — lints fabric-level route trees: per-net connectivity
+//!   (a spanning-forest certificate from the sources that covers every
+//!   tree node and reaches every sink — no stranded components, no
+//!   disconnected cycles) and exclusive wire-node ownership across nets.
+//! * [`waves`] — the wave-schedule race detector: given each wave member's
+//!   *actual* touched-node footprint (every node whose congestion state
+//!   the router evaluated, and every wire its rip/commit writes), proves
+//!   pairwise read/write disjointness within every wave. This upgrades
+//!   the par-engine's "bbox-disjoint ⇒ race-free" argument from an
+//!   assumption into a checked theorem.
+//! * [`sched`] — the scheduler-state checker: over a plain
+//!   [`sched::SchedSnapshot`] of the runtime, proves band/lease
+//!   disjointness, row conservation, queue/ledger reconciliation and
+//!   cache-key soundness (full structural comparison on hash agreement,
+//!   ruling out `ConfigKey` collisions).
+//! * [`equiv`] — the gate-level equivalence check between a source AIG and
+//!   its mapped design (absorbed from `mapping::verify`).
+//!
+//! Every pass returns all violations it finds (it does not stop at the
+//! first), each as a typed [`Violation`] so tests can assert *which*
+//! invariant a corrupted artifact breaks.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod config;
+pub mod equiv;
+pub mod routes;
+pub mod sched;
+pub mod waves;
+
+pub use routes::NetTerminals;
+pub use sched::SchedSnapshot;
+pub use waves::{WaveAuditor, WaveFootprint};
+
+use std::fmt;
+
+/// One proven-false invariant, typed so the mutation suite can assert the
+/// *right* rejection and drivers can emit machine-readable records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    // --- configuration linter (overlay mapping) ---
+    /// Placement vector length disagrees with the app graph.
+    NodeCountMismatch {
+        /// Nodes in the app graph.
+        expected: usize,
+        /// Entries in `mapping.place`.
+        got: usize,
+    },
+    /// A node is placed outside the grid.
+    PlacementOutOfBounds {
+        /// App node index.
+        node: usize,
+        /// Its (row, col) cell.
+        cell: (usize, usize),
+    },
+    /// Two nodes share one PE cell.
+    PlacementOverlap {
+        /// The contested cell.
+        cell: (usize, usize),
+        /// The two app nodes claiming it.
+        nodes: (usize, usize),
+    },
+    /// A dataflow edge of the graph has no routed path.
+    RouteMissing {
+        /// Driving node.
+        from: usize,
+        /// Consuming node.
+        to: usize,
+    },
+    /// A routed path exists for no dataflow edge of the graph.
+    RouteUnknown {
+        /// Route index in `mapping.routes`.
+        edge: usize,
+    },
+    /// A route's path does not start/end at the placed endpoint cells.
+    RouteEndpointMismatch {
+        /// Route index.
+        edge: usize,
+        /// Cell the path should touch.
+        want: (usize, usize),
+        /// Cell it actually touches.
+        got: (usize, usize),
+    },
+    /// Adjacent path cells are not grid-adjacent (or the path is empty).
+    PathBroken {
+        /// Route index.
+        edge: usize,
+        /// Offending step (index of the second cell of the pair).
+        step: usize,
+    },
+    /// A path visits the same cell twice (it is not a simple path).
+    PathRevisitsCell {
+        /// Route index.
+        edge: usize,
+        /// The revisited cell.
+        cell: (usize, usize),
+    },
+    /// A directed channel segment carries more routes than its capacity.
+    ChannelOverCapacity {
+        /// Segment's source cell.
+        cell: (usize, usize),
+        /// Direction slot (0 = E, 1 = W, 2 = S, 3 = N).
+        dir: u8,
+        /// Routes using the segment.
+        used: usize,
+        /// The architecture's channel capacity.
+        capacity: usize,
+    },
+    /// A placed node's cell has no settings.
+    SettingsMissing {
+        /// App node index.
+        node: usize,
+        /// Its cell.
+        cell: (usize, usize),
+    },
+    /// An unused cell carries settings.
+    SettingsOnEmptyCell {
+        /// The cell.
+        cell: (usize, usize),
+    },
+    /// A PE's configured mode disagrees with its node's operation.
+    ModeMismatch {
+        /// App node index.
+        node: usize,
+    },
+    /// A PE's configured coefficient disagrees with its node's.
+    CoeffMismatch {
+        /// App node index.
+        node: usize,
+    },
+    /// A PE's coefficient format disagrees with the graph's datapath format.
+    FormatMismatch {
+        /// App node index.
+        node: usize,
+    },
+    /// `settings_words()` does not cover every settings register.
+    SettingsWordCount {
+        /// Registers the architecture has.
+        expected: usize,
+        /// Words the mapping produced.
+        got: usize,
+    },
+    /// A cell's configuration frame address is outside the frame space.
+    FrameOutOfRange {
+        /// The cell.
+        cell: (usize, usize),
+        /// Computed frame address.
+        frame: usize,
+        /// Number of frames the model has.
+        frames: usize,
+    },
+
+    // --- fabric route-tree linter ---
+    /// Net and tree counts disagree.
+    TreeCountMismatch {
+        /// Nets given.
+        nets: usize,
+        /// Trees given.
+        trees: usize,
+    },
+    /// A tree references a node outside the route graph.
+    NodeOutOfRange {
+        /// Net index.
+        net: usize,
+        /// The node id.
+        node: u32,
+        /// Nodes in the graph.
+        nodes: usize,
+    },
+    /// A wire node's track exceeds the channel width.
+    TrackOutOfRange {
+        /// Net index.
+        net: usize,
+        /// The node id.
+        node: u32,
+        /// Its track.
+        track: usize,
+        /// The graph's channel width.
+        width: usize,
+    },
+    /// A sink pin is not reached from the net's sources through its tree.
+    SinkUnreached {
+        /// Net index.
+        net: usize,
+        /// The unreached sink node.
+        sink: u32,
+    },
+    /// A tree node is unreachable from every source (a stranded component
+    /// — where a disconnected cycle would hide).
+    StrandedNode {
+        /// Net index.
+        net: usize,
+        /// The stranded node.
+        node: u32,
+    },
+    /// Two nets both claim one wire node.
+    WireConflict {
+        /// The contested wire node.
+        node: u32,
+        /// The two claiming nets.
+        nets: (usize, usize),
+    },
+
+    // --- wave-schedule race detector ---
+    /// Two members of one wave touch the same wire node.
+    WaveRace {
+        /// PathFinder iteration of the wave.
+        iteration: usize,
+        /// Wave index within the iteration.
+        wave: usize,
+        /// The two racing nets.
+        nets: (u32, u32),
+        /// The contested node.
+        node: u32,
+        /// True for a write/write conflict, false for read/write.
+        write_write: bool,
+    },
+
+    // --- scheduler-state checker ---
+    /// A band extends past its grid.
+    BandOutOfBounds {
+        /// Grid index.
+        grid: usize,
+        /// First row.
+        row0: usize,
+        /// Rows tall.
+        rows: usize,
+        /// Rows the grid has.
+        grid_rows: usize,
+    },
+    /// Two bands of one grid overlap.
+    BandOverlap {
+        /// Grid index.
+        grid: usize,
+        /// First band as (row0, rows).
+        a: (usize, usize),
+        /// Second band as (row0, rows).
+        b: (usize, usize),
+    },
+    /// A band holds no tenants.
+    EmptyBand {
+        /// Grid index.
+        grid: usize,
+        /// First row.
+        row0: usize,
+    },
+    /// Free rows plus allocated band rows do not account for the grid.
+    RowConservation {
+        /// Grid index.
+        grid: usize,
+        /// Free rows reported.
+        free: usize,
+        /// Rows held by bands.
+        allocated: usize,
+        /// Rows the grid has.
+        rows: usize,
+    },
+    /// A live tenant's lease points at no band.
+    LeaseWithoutBand {
+        /// The tenant.
+        tenant: u64,
+    },
+    /// A lease's shape (rows/cols) disagrees with its band or grid.
+    LeaseShapeMismatch {
+        /// The tenant.
+        tenant: u64,
+    },
+    /// A lease claims sole tenancy of a band it does not head.
+    SharedFlagWrong {
+        /// The tenant.
+        tenant: u64,
+    },
+    /// A lease is smaller than the tenant's PE demand needs.
+    LeaseTooSmall {
+        /// The tenant.
+        tenant: u64,
+        /// Leased rows.
+        rows: usize,
+        /// Rows the demand needs.
+        needed: usize,
+    },
+    /// A tenant's compiled region disagrees with its minimal region.
+    RegionMismatch {
+        /// The tenant.
+        tenant: u64,
+        /// Minimal region (rows, cols) for the demand.
+        expected: (usize, usize),
+        /// Region the mapping was compiled for.
+        got: (usize, usize),
+    },
+    /// A tenant's mapping does not place every graph node.
+    MappingNodeCount {
+        /// The tenant.
+        tenant: u64,
+        /// Graph nodes.
+        expected: usize,
+        /// Placed nodes.
+        got: usize,
+    },
+    /// The admission ledger does not reconcile with the queue.
+    QueueLedgerDrift {
+        /// `queued` counter.
+        queued: u64,
+        /// `queue_admitted + queue_dropped + queue_cancelled + depth`.
+        accounted: u64,
+    },
+    /// A tenant is both live and waiting in the queue.
+    QueuedAndLive {
+        /// The tenant.
+        tenant: u64,
+    },
+    /// The resident map points at a band that does not carry the tenant.
+    ResidentInvalid {
+        /// Grid index.
+        grid: usize,
+        /// Band's first row.
+        row0: usize,
+        /// The supposedly resident tenant.
+        tenant: u64,
+    },
+    /// Two different structures share one cache key (a hash/eq collision).
+    CacheKeyCollision {
+        /// First tenant.
+        a: u64,
+        /// Second tenant.
+        b: u64,
+    },
+    /// Two identical structures carry different cache keys (lost sharing).
+    CacheKeySplit {
+        /// First tenant.
+        a: u64,
+        /// Second tenant.
+        b: u64,
+    },
+    /// A cache entry's mapping disagrees with the region its key names.
+    CacheEntryMismatch {
+        /// Fingerprint of the offending key.
+        key_id: u64,
+    },
+
+    // --- equivalence ---
+    /// The mapped design is not equivalent to its source AIG.
+    NotEquivalent {
+        /// First mismatch, human-readable.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// Short stable kebab-case code (for JSON records and CI greps).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Violation::NodeCountMismatch { .. } => "node-count-mismatch",
+            Violation::PlacementOutOfBounds { .. } => "placement-out-of-bounds",
+            Violation::PlacementOverlap { .. } => "placement-overlap",
+            Violation::RouteMissing { .. } => "route-missing",
+            Violation::RouteUnknown { .. } => "route-unknown",
+            Violation::RouteEndpointMismatch { .. } => "route-endpoint-mismatch",
+            Violation::PathBroken { .. } => "path-broken",
+            Violation::PathRevisitsCell { .. } => "path-revisits-cell",
+            Violation::ChannelOverCapacity { .. } => "channel-over-capacity",
+            Violation::SettingsMissing { .. } => "settings-missing",
+            Violation::SettingsOnEmptyCell { .. } => "settings-on-empty-cell",
+            Violation::ModeMismatch { .. } => "mode-mismatch",
+            Violation::CoeffMismatch { .. } => "coeff-mismatch",
+            Violation::FormatMismatch { .. } => "format-mismatch",
+            Violation::SettingsWordCount { .. } => "settings-word-count",
+            Violation::FrameOutOfRange { .. } => "frame-out-of-range",
+            Violation::TreeCountMismatch { .. } => "tree-count-mismatch",
+            Violation::NodeOutOfRange { .. } => "node-out-of-range",
+            Violation::TrackOutOfRange { .. } => "track-out-of-range",
+            Violation::SinkUnreached { .. } => "sink-unreached",
+            Violation::StrandedNode { .. } => "stranded-node",
+            Violation::WireConflict { .. } => "wire-conflict",
+            Violation::WaveRace { .. } => "wave-race",
+            Violation::BandOutOfBounds { .. } => "band-out-of-bounds",
+            Violation::BandOverlap { .. } => "band-overlap",
+            Violation::EmptyBand { .. } => "empty-band",
+            Violation::RowConservation { .. } => "row-conservation",
+            Violation::LeaseWithoutBand { .. } => "lease-without-band",
+            Violation::LeaseShapeMismatch { .. } => "lease-shape-mismatch",
+            Violation::SharedFlagWrong { .. } => "shared-flag-wrong",
+            Violation::LeaseTooSmall { .. } => "lease-too-small",
+            Violation::RegionMismatch { .. } => "region-mismatch",
+            Violation::MappingNodeCount { .. } => "mapping-node-count",
+            Violation::QueueLedgerDrift { .. } => "queue-ledger-drift",
+            Violation::QueuedAndLive { .. } => "queued-and-live",
+            Violation::ResidentInvalid { .. } => "resident-invalid",
+            Violation::CacheKeyCollision { .. } => "cache-key-collision",
+            Violation::CacheKeySplit { .. } => "cache-key-split",
+            Violation::CacheEntryMismatch { .. } => "cache-entry-mismatch",
+            Violation::NotEquivalent { .. } => "not-equivalent",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NodeCountMismatch { expected, got } => {
+                write!(f, "placement covers {got} nodes, graph has {expected}")
+            }
+            Violation::PlacementOutOfBounds { node, cell } => {
+                write!(f, "node {node} placed outside the grid at {cell:?}")
+            }
+            Violation::PlacementOverlap { cell, nodes } => {
+                write!(f, "nodes {} and {} both placed at {cell:?}", nodes.0, nodes.1)
+            }
+            Violation::RouteMissing { from, to } => {
+                write!(f, "dataflow edge {from} -> {to} has no routed path")
+            }
+            Violation::RouteUnknown { edge } => {
+                write!(f, "route {edge} matches no dataflow edge of the graph")
+            }
+            Violation::RouteEndpointMismatch { edge, want, got } => {
+                write!(f, "route {edge} endpoint at {got:?}, placement says {want:?}")
+            }
+            Violation::PathBroken { edge, step } => {
+                write!(f, "route {edge} breaks at step {step} (non-adjacent or empty)")
+            }
+            Violation::PathRevisitsCell { edge, cell } => {
+                write!(f, "route {edge} revisits cell {cell:?}")
+            }
+            Violation::ChannelOverCapacity { cell, dir, used, capacity } => {
+                write!(
+                    f,
+                    "channel segment at {cell:?} dir {dir} carries {used} routes, capacity {capacity}"
+                )
+            }
+            Violation::SettingsMissing { node, cell } => {
+                write!(f, "node {node} at {cell:?} has no PE settings")
+            }
+            Violation::SettingsOnEmptyCell { cell } => {
+                write!(f, "unused cell {cell:?} carries PE settings")
+            }
+            Violation::ModeMismatch { node } => {
+                write!(f, "node {node}: PE mode disagrees with the node's operation")
+            }
+            Violation::CoeffMismatch { node } => {
+                write!(f, "node {node}: PE coefficient disagrees with the node's")
+            }
+            Violation::FormatMismatch { node } => {
+                write!(f, "node {node}: PE coefficient format disagrees with the datapath")
+            }
+            Violation::SettingsWordCount { expected, got } => {
+                write!(f, "settings words: {got}, architecture has {expected} registers")
+            }
+            Violation::FrameOutOfRange { cell, frame, frames } => {
+                write!(f, "cell {cell:?} addresses frame {frame}, model has {frames}")
+            }
+            Violation::TreeCountMismatch { nets, trees } => {
+                write!(f, "{trees} trees for {nets} nets")
+            }
+            Violation::NodeOutOfRange { net, node, nodes } => {
+                write!(f, "net {net}: node {node} outside the graph ({nodes} nodes)")
+            }
+            Violation::TrackOutOfRange { net, node, track, width } => {
+                write!(f, "net {net}: node {node} on track {track}, width {width}")
+            }
+            Violation::SinkUnreached { net, sink } => {
+                write!(f, "net {net}: sink {sink} not reached")
+            }
+            Violation::StrandedNode { net, node } => {
+                write!(f, "net {net}: node {node} unreachable from every source")
+            }
+            Violation::WireConflict { node, nets } => {
+                write!(f, "wire {node} shared by nets {} and {}", nets.0, nets.1)
+            }
+            Violation::WaveRace { iteration, wave, nets, node, write_write } => {
+                write!(
+                    f,
+                    "iteration {iteration} wave {wave}: nets {} and {} race on node {node} ({})",
+                    nets.0,
+                    nets.1,
+                    if *write_write { "write/write" } else { "read/write" }
+                )
+            }
+            Violation::BandOutOfBounds { grid, row0, rows, grid_rows } => {
+                write!(f, "grid {grid}: band rows {row0}+{rows} exceed the grid's {grid_rows}")
+            }
+            Violation::BandOverlap { grid, a, b } => {
+                write!(f, "grid {grid}: bands {a:?} and {b:?} overlap")
+            }
+            Violation::EmptyBand { grid, row0 } => {
+                write!(f, "grid {grid}: band at row {row0} holds no tenants")
+            }
+            Violation::RowConservation { grid, free, allocated, rows } => {
+                write!(f, "grid {grid}: {free} free + {allocated} allocated != {rows} rows")
+            }
+            Violation::LeaseWithoutBand { tenant } => {
+                write!(f, "tenant {tenant}: lease points at no band")
+            }
+            Violation::LeaseShapeMismatch { tenant } => {
+                write!(f, "tenant {tenant}: lease shape disagrees with its band/grid")
+            }
+            Violation::SharedFlagWrong { tenant } => {
+                write!(f, "tenant {tenant}: non-shared lease on a band it does not head")
+            }
+            Violation::LeaseTooSmall { tenant, rows, needed } => {
+                write!(f, "tenant {tenant}: {rows} leased rows, demand needs {needed}")
+            }
+            Violation::RegionMismatch { tenant, expected, got } => {
+                write!(f, "tenant {tenant}: compiled for region {got:?}, minimal is {expected:?}")
+            }
+            Violation::MappingNodeCount { tenant, expected, got } => {
+                write!(f, "tenant {tenant}: mapping places {got} nodes, graph has {expected}")
+            }
+            Violation::QueueLedgerDrift { queued, accounted } => {
+                write!(f, "ledger drift: queued {queued}, accounted {accounted}")
+            }
+            Violation::QueuedAndLive { tenant } => {
+                write!(f, "tenant {tenant} is both live and queued")
+            }
+            Violation::ResidentInvalid { grid, row0, tenant } => {
+                write!(f, "resident map: tenant {tenant} not on band (grid {grid}, row {row0})")
+            }
+            Violation::CacheKeyCollision { a, b } => {
+                write!(f, "tenants {a} and {b}: same cache key, different structure")
+            }
+            Violation::CacheKeySplit { a, b } => {
+                write!(f, "tenants {a} and {b}: same structure, different cache keys")
+            }
+            Violation::CacheEntryMismatch { key_id } => {
+                write!(f, "cache entry {key_id:#x}: mapping disagrees with its key's region")
+            }
+            Violation::NotEquivalent { detail } => {
+                write!(f, "mapping not equivalent: {detail}")
+            }
+        }
+    }
+}
+
+/// Machine-readable result of one pass.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Stable pass name (`config`, `routes`, `wave-schedule`, `sched`,
+    /// `equiv`).
+    pub pass: &'static str,
+    /// Objects the pass examined (nets, waves, bands... — the pass's own
+    /// unit, documented per pass).
+    pub checked: usize,
+    /// Every violation found (empty means the invariants are proven for
+    /// this artifact).
+    pub violations: Vec<Violation>,
+    /// Wall time the pass took.
+    pub seconds: f64,
+}
+
+impl VerifyReport {
+    /// True when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if self.ok() {
+            format!("{}: {} checked, clean ({:.1} ms)", self.pass, self.checked, self.seconds * 1e3)
+        } else {
+            format!(
+                "{}: {} checked, {} VIOLATIONS ({:.1} ms)",
+                self.pass,
+                self.checked,
+                self.violations.len(),
+                self.seconds * 1e3
+            )
+        }
+    }
+
+    /// Panics with every violation listed unless the report is clean.
+    pub fn assert_ok(&self) {
+        if !self.ok() {
+            let mut msg = format!("{} violations in pass '{}':", self.violations.len(), self.pass);
+            for v in &self.violations {
+                msg.push_str(&format!("\n  [{}] {v}", v.code()));
+            }
+            panic!("{msg}");
+        }
+    }
+
+    /// JSON object (hand-rolled like the rest of the bench records — the
+    /// build has no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"pass\": \"{}\", \"checked\": {}, \"seconds\": {:.6}, \"violations\": [",
+            self.pass, self.checked, self.seconds
+        );
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let detail = v.to_string().replace('\\', "\\\\").replace('"', "\\\"");
+            s.push_str(&format!("{{\"code\": \"{}\", \"detail\": \"{detail}\"}}", v.code()));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// The facade: one entry point per pass, each producing a
+/// [`VerifyReport`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Verifier;
+
+impl Verifier {
+    /// Creates a verifier.
+    pub fn new() -> Self {
+        Verifier
+    }
+
+    /// Pass 1a — overlay configuration linter. `checked` counts app nodes
+    /// plus routed edges.
+    pub fn verify_config(
+        &self,
+        app: &vcgra::app::AppGraph,
+        mapping: &vcgra::flow::VcgraMapping,
+    ) -> VerifyReport {
+        let t0 = std::time::Instant::now();
+        let violations = config::check_mapping(app, mapping);
+        VerifyReport {
+            pass: "config",
+            checked: app.nodes.len() + mapping.routes.len(),
+            violations,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Pass 1b — fabric route-tree linter. `checked` counts nets.
+    pub fn verify_routes(
+        &self,
+        graph: &fabric::rrg::RouteGraph,
+        nets: &[routes::NetTerminals],
+        trees: &[Vec<u32>],
+    ) -> VerifyReport {
+        let t0 = std::time::Instant::now();
+        let violations = routes::check_route_trees(graph, nets, trees);
+        VerifyReport {
+            pass: "routes",
+            checked: nets.len(),
+            violations,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Pass 2 — wave-schedule race check over one wave's footprints (the
+    /// incremental form used by the router lives in [`waves::WaveAuditor`]).
+    pub fn verify_wave(&self, members: &[waves::WaveFootprint]) -> VerifyReport {
+        let t0 = std::time::Instant::now();
+        let violations = waves::check_wave(0, 0, members);
+        VerifyReport {
+            pass: "wave-schedule",
+            checked: members.len(),
+            violations,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Pass 3 — scheduler-state checker. `checked` counts bands plus
+    /// tenants.
+    pub fn verify_sched(&self, snap: &sched::SchedSnapshot) -> VerifyReport {
+        let t0 = std::time::Instant::now();
+        let violations = sched::check_sched(snap);
+        VerifyReport {
+            pass: "sched",
+            checked: snap.bands.len() + snap.tenants.len(),
+            violations,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Equivalence pass — AIG vs mapped design over random parameter
+    /// assignments. `checked` counts assignments.
+    pub fn verify_equivalence(
+        &self,
+        aig: &logic::aig::Aig,
+        design: &mapping::MappedDesign,
+        param_draws: usize,
+        seed: u64,
+    ) -> VerifyReport {
+        let t0 = std::time::Instant::now();
+        let violations = match equiv::check_equivalent(aig, design, param_draws, seed) {
+            Ok(()) => Vec::new(),
+            Err(detail) => vec![Violation::NotEquivalent { detail }],
+        };
+        VerifyReport {
+            pass: "equiv",
+            checked: 2 + param_draws,
+            violations,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_summary_and_json() {
+        let clean = VerifyReport { pass: "routes", checked: 3, violations: vec![], seconds: 0.001 };
+        assert!(clean.ok());
+        assert!(clean.summary().contains("clean"));
+        clean.assert_ok();
+
+        let bad = VerifyReport {
+            pass: "routes",
+            checked: 3,
+            violations: vec![Violation::WireConflict { node: 7, nets: (0, 2) }],
+            seconds: 0.001,
+        };
+        assert!(!bad.ok());
+        let json = bad.to_json();
+        assert!(json.contains("\"wire-conflict\""), "{json}");
+        assert!(json.contains("\"pass\": \"routes\""), "{json}");
+    }
+
+    #[test]
+    #[should_panic(expected = "wire-conflict")]
+    fn assert_ok_lists_codes() {
+        VerifyReport {
+            pass: "routes",
+            checked: 1,
+            violations: vec![Violation::WireConflict { node: 7, nets: (0, 2) }],
+            seconds: 0.0,
+        }
+        .assert_ok();
+    }
+}

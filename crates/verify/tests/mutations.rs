@@ -1,0 +1,231 @@
+//! Mutation suite: every pass must reject a *corrupted* known-good
+//! artifact with the **right** [`Violation`] variant.
+//!
+//! Each test produces a real artifact through the actual toolchain
+//! (overlay flow, par-engine, runtime), proves it clean, seeds exactly
+//! one corruption, and asserts the matching rejection. A verifier that
+//! waves corrupted state through — or rejects it for the wrong reason —
+//! fails here.
+
+use fabric::arch::FabricArch;
+use fabric::rrg::RouteGraph;
+use par::{EngineOptions, ParEngine};
+use runtime::{kernels, Runtime, RuntimeConfig};
+use softfloat::FpFormat;
+use vcgra::app::AppGraph;
+use vcgra::{PeMode, VcgraArch};
+use verify::config::check_mapping;
+use verify::routes::{check_route_trees, NetTerminals};
+use verify::sched::{check_sched, SchedSnapshot};
+use verify::waves::{check_wave, WaveFootprint};
+use verify::Violation;
+
+const F: FpFormat = FpFormat::PAPER;
+
+/// Asserts that `$violations` holds at least one entry matching
+/// `$pattern` — the *right* rejection, not just any rejection.
+macro_rules! assert_violation {
+    ($violations:expr, $pattern:pat) => {
+        assert!(
+            $violations.iter().any(|v| matches!(v, $pattern)),
+            "expected {} in {:?}",
+            stringify!($pattern),
+            $violations
+        )
+    };
+}
+
+// --- configuration linter ---------------------------------------------
+
+fn clean_mapping() -> (AppGraph, vcgra::flow::VcgraMapping) {
+    let app = AppGraph::dot_product(F, &[1.0, 2.0, 3.0]);
+    let rows = verify::sched::rows_needed(app.pe_demand(), 4);
+    let mapping = vcgra::flow::map_app(&app, VcgraArch::new(rows, 4, 2), 1).expect("mappable");
+    assert!(check_mapping(&app, &mapping).is_empty(), "artifact must start clean");
+    (app, mapping)
+}
+
+#[test]
+fn overlapping_placement_is_rejected() {
+    let (app, mut m) = clean_mapping();
+    m.place[1] = m.place[0];
+    assert_violation!(check_mapping(&app, &m), Violation::PlacementOverlap { .. });
+}
+
+#[test]
+fn dropped_route_is_rejected() {
+    let (app, mut m) = clean_mapping();
+    m.routes.remove(0);
+    assert_violation!(check_mapping(&app, &m), Violation::RouteMissing { .. });
+}
+
+#[test]
+fn broken_path_is_rejected() {
+    let (app, mut m) = clean_mapping();
+    let r = m.routes.iter_mut().find(|r| r.path.len() >= 2).expect("a multi-cell path");
+    // Teleport an interior/terminal step somewhere non-adjacent.
+    let last = r.path.len() - 1;
+    r.path[last] = (m.arch.rows + 7, m.arch.cols + 7);
+    let v = check_mapping(&app, &m);
+    assert_violation!(v, Violation::PathBroken { .. });
+}
+
+#[test]
+fn wrong_pe_mode_is_rejected() {
+    let (app, mut m) = clean_mapping();
+    let s = m
+        .pe_settings
+        .iter_mut()
+        .flatten()
+        .next()
+        .expect("at least one configured PE");
+    s.mode = if s.mode == PeMode::Pass { PeMode::Mac } else { PeMode::Pass };
+    assert_violation!(check_mapping(&app, &m), Violation::ModeMismatch { .. });
+}
+
+// --- fabric route-tree linter -----------------------------------------
+
+fn small_aig() -> logic::aig::Aig {
+    use logic::aig::{Aig, InputKind};
+    let mut g = Aig::new();
+    let xs: Vec<_> = (0..6).map(|i| g.input(format!("x{i}"), InputKind::Regular)).collect();
+    let mut acc = xs[0];
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        acc = if i % 2 == 0 { g.xor(acc, x) } else { g.and(acc, x) };
+    }
+    let alt0 = g.xor(xs[0], xs[5]);
+    let alt1 = g.or(xs[2], xs[4]);
+    let alt = g.and(alt0, alt1);
+    g.add_output("f", acc);
+    g.add_output("g", alt);
+    g
+}
+
+fn clean_route() -> (RouteGraph, Vec<NetTerminals>, Vec<Vec<u32>>) {
+    // A real mapped-and-routed artifact: a small netlist pushed through
+    // the conventional flow and the par-engine.
+    let design = mapping::map_conventional(&small_aig(), mapping::MapOptions::default());
+    let nl = par::extract(&design);
+    let arch = FabricArch::sized_for(nl.logic_count(), nl.io_count());
+    let engine = ParEngine::new(EngineOptions::default());
+    let placement = engine.place(&nl, arch);
+    let mut width = par::channel_width_estimate(&nl, &placement, arch).max(4);
+    let (graph, result) = loop {
+        let graph = RouteGraph::build(arch, width);
+        match engine.route(&nl, &placement, &graph) {
+            Ok(r) => break (graph, r),
+            Err(_) => width *= 2,
+        }
+    };
+    let nets = par::troute::terminals(&nl, &placement, &graph);
+    assert!(
+        check_route_trees(&graph, &nets, &result.trees).is_empty(),
+        "artifact must start clean"
+    );
+    (graph, nets, result.trees)
+}
+
+#[test]
+fn stolen_wire_node_is_rejected() {
+    let (graph, nets, mut trees) = clean_route();
+    // Steal a wire node of net 0's tree into another net's tree.
+    let stolen = *trees[0]
+        .iter()
+        .find(|&&n| graph.kind(n).is_wire())
+        .expect("net 0 uses at least one wire");
+    let thief = (1..trees.len())
+        .find(|&i| !trees[i].contains(&stolen))
+        .expect("some net does not own the node");
+    trees[thief].push(stolen);
+    let v = check_route_trees(&graph, &nets, &trees);
+    assert_violation!(v, Violation::WireConflict { .. });
+}
+
+#[test]
+fn emptied_tree_is_rejected() {
+    let (graph, nets, mut trees) = clean_route();
+    trees[0].clear();
+    assert_violation!(check_route_trees(&graph, &nets, &trees), Violation::SinkUnreached { .. });
+}
+
+#[test]
+fn out_of_range_node_is_rejected() {
+    let (graph, nets, mut trees) = clean_route();
+    trees[0].push(graph.node_count() as u32 + 41);
+    assert_violation!(check_route_trees(&graph, &nets, &trees), Violation::NodeOutOfRange { .. });
+}
+
+// --- wave-schedule race detector --------------------------------------
+
+#[test]
+fn aliased_wave_write_is_rejected() {
+    // Two disjoint members are clean; aliasing one write node must be a
+    // write/write race.
+    let a = WaveFootprint { net: 0, reads: vec![1, 2], writes: vec![2] };
+    let mut b = WaveFootprint { net: 1, reads: vec![8, 9], writes: vec![9] };
+    assert!(check_wave(0, 0, &[a.clone(), b.clone()]).is_empty());
+    b.writes.push(2);
+    let v = check_wave(0, 0, &[a, b]);
+    assert_violation!(v, Violation::WaveRace { write_write: true, .. });
+}
+
+// --- scheduler-state checker ------------------------------------------
+
+fn clean_snapshot() -> SchedSnapshot {
+    let mut rt = Runtime::new(RuntimeConfig {
+        grids: vec![VcgraArch::new(8, 4, 2)],
+        ..RuntimeConfig::default()
+    });
+    rt.submit("a", kernels::fir_seeded(F, 3, 1).graph)
+        .expect("submit")
+        .expect_admitted("empty pool");
+    rt.submit("b", kernels::fir_seeded(F, 5, 2).graph)
+        .expect("submit")
+        .expect_admitted("room left");
+    let snap = rt.snapshot();
+    assert!(check_sched(&snap).is_empty(), "artifact must start clean");
+    assert!(snap.bands.len() >= 2 && snap.tenants.len() >= 2);
+    snap
+}
+
+#[test]
+fn overlapping_leases_are_rejected() {
+    let mut snap = clean_snapshot();
+    // Slide the second band up into the first.
+    let mut bands: Vec<usize> = (0..snap.bands.len()).collect();
+    bands.sort_by_key(|&i| snap.bands[i].row0);
+    snap.bands[bands[1]].row0 = snap.bands[bands[0]].row0 + snap.bands[bands[0]].rows - 1;
+    assert_violation!(check_sched(&snap), Violation::BandOverlap { .. });
+}
+
+#[test]
+fn desynced_ledger_counter_is_rejected() {
+    let mut snap = clean_snapshot();
+    snap.ledger.queued += 1; // one phantom queue entry nothing accounts for
+    assert_violation!(check_sched(&snap), Violation::QueueLedgerDrift { .. });
+}
+
+#[test]
+fn aliased_cache_key_is_rejected() {
+    let mut snap = clean_snapshot();
+    // Two structurally different tenants suddenly share a fingerprint:
+    // the hash-hit structural comparison must catch the collision.
+    assert_ne!(snap.tenants[0].sig, snap.tenants[1].sig, "tenants differ structurally");
+    snap.tenants[1].key_id = snap.tenants[0].key_id;
+    assert_violation!(check_sched(&snap), Violation::CacheKeyCollision { .. });
+}
+
+#[test]
+fn corrupted_cache_entry_is_rejected() {
+    let mut snap = clean_snapshot();
+    assert!(!snap.cache.is_empty(), "admissions populate the cache");
+    snap.cache[0].mapping_region.0 += 1;
+    assert_violation!(check_sched(&snap), Violation::CacheEntryMismatch { .. });
+}
+
+#[test]
+fn row_leak_is_rejected() {
+    let mut snap = clean_snapshot();
+    snap.grids[0].free_rows += 1; // claims a row a band still holds
+    assert_violation!(check_sched(&snap), Violation::RowConservation { .. });
+}

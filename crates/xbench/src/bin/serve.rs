@@ -31,10 +31,15 @@
 //! any scheduler-wave assertion fires.
 //!
 //! Usage: `cargo run -p xbench --release --bin serve [--smoke] [--queue]
-//! [--compact] [--check]`
+//! [--compact] [--check] [--verify]`
 //!
 //! `--queue` / `--compact` select just that scheduler wave; `--check`
 //! (CI's queue-regression gate) runs everything regardless of selection.
+//! `--verify` turns on `verify_on_admit` (every mutating runtime
+//! operation re-proves the scheduler invariants before returning) and a
+//! final `vcgra-verify` sched pass per wave. `--check` implies the final
+//! sched pass, so queue/ledger reconciliation drift *fails* the gate
+//! instead of merely printing skewed counters.
 
 use runtime::kernels;
 use runtime::{Admission, Runtime, RuntimeConfig, StreamRequest, TenantId};
@@ -55,6 +60,15 @@ fn ms(d: Duration) -> String {
 
 fn us(d: Duration) -> String {
     format!("{:.1} us", d.as_secs_f64() * 1e6)
+}
+
+/// Re-proves the scheduler invariants (band/lease disjointness, row
+/// conservation, queue/ledger reconciliation, cache-key soundness) on
+/// the live runtime and fails the run on any violation.
+fn sched_verify(rt: &Runtime, label: &str) {
+    let report = rt.verify();
+    println!("  [verify] {label}: {}", report.summary());
+    report.assert_ok();
 }
 
 fn stream(n: usize, items: usize, salt: u64) -> Vec<Vec<FpValue>> {
@@ -81,7 +95,7 @@ fn assert_bit_exact(rt: &mut Runtime, tenant: TenantId, items: usize, salt: u64)
 }
 
 /// Phases 1–4 + ledger: the original mixed-tenant soak.
-fn soak(smoke: bool) {
+fn soak(smoke: bool, verify_on_admit: bool, audit: bool) {
     let items_per_tenant = if smoke { 200 } else { 2000 };
     let mut lib = kernels::library(F);
     if !smoke {
@@ -101,6 +115,7 @@ fn soak(smoke: bool) {
             VcgraArch::new(8, 4, 2),
             VcgraArch::new(16, 4, 2),
         ],
+        verify_on_admit,
         ..RuntimeConfig::default()
     };
     println!("=== vcgra-runtime serve: mixed-tenant soak ({} kernels) ===", lib.len());
@@ -287,16 +302,20 @@ fn soak(smoke: bool) {
         cache.hit_rate() * 100.0,
         rt.utilization() * 100.0,
     );
+    if audit {
+        sched_verify(&rt, "post-soak scheduler state");
+    }
     println!("\nsoak OK: warm path {speedup:.0}x, all outputs bit-exact with run_dataflow.");
 }
 
 /// Phase 5: FIFO admission queue — fill the pool, queue three tenants,
 /// release the blocker, and require the drain to follow submission order.
-fn queue_wave() {
+fn queue_wave(verify_on_admit: bool, audit: bool) {
     println!("\n=== queue wave: FIFO admission under a full pool ===");
     let cfg = RuntimeConfig {
         grids: vec![VcgraArch::new(6, 4, 2)],
         time_share: false, // prefer queueing latency over context switches
+        verify_on_admit,
         ..RuntimeConfig::default()
     };
     let mut rt = Runtime::new(cfg);
@@ -335,13 +354,16 @@ fn queue_wave() {
     for &t in &queued {
         assert_bit_exact(&mut rt, t, 8, t);
     }
+    if audit {
+        sched_verify(&rt, "post-drain scheduler state");
+    }
     println!("queue wave OK: 3 queued, drained in FIFO order, bit-exact.");
 }
 
 /// Phase 6: band compaction — the acceptance scenario. 13 free rows
 /// fragmented 6+7 on a 16-row grid; first-fit refuses the 13-row retina
 /// matched-filter stage, compaction admits it.
-fn compact_wave() {
+fn compact_wave(verify_on_admit: bool, audit: bool) {
     println!("\n=== compaction wave: 13-row tenant on 13 fragmented free rows ===");
     let grids = vec![VcgraArch::new(16, 4, 2)];
     let blocker = kernels::fir_seeded(F, 12, 31); // 23 nodes → 6 rows of 4
@@ -349,7 +371,12 @@ fn compact_wave() {
     let big = kernels::retina_soak_stage(F); // 49 nodes → 13 rows
 
     // First fit (compaction off): the big tenant can only queue.
-    let cfg = RuntimeConfig { grids: grids.clone(), compact: false, ..RuntimeConfig::default() };
+    let cfg = RuntimeConfig {
+        grids: grids.clone(),
+        compact: false,
+        verify_on_admit,
+        ..RuntimeConfig::default()
+    };
     let mut rt = Runtime::new(cfg);
     let b = rt.submit("blocker", blocker.graph.clone()).unwrap().expect_admitted("fits");
     rt.submit("survivor", survivor.graph.clone()).unwrap().expect_admitted("fits");
@@ -366,7 +393,8 @@ fn compact_wave() {
     );
 
     // Same sequence with compaction on.
-    let mut rt = Runtime::new(RuntimeConfig { grids, ..RuntimeConfig::default() });
+    let mut rt =
+        Runtime::new(RuntimeConfig { grids, verify_on_admit, ..RuntimeConfig::default() });
     let b = rt.submit("blocker", blocker.graph.clone()).unwrap().expect_admitted("fits");
     let s = rt.submit("survivor", survivor.graph.clone()).unwrap().expect_admitted("fits");
     rt.release(b.tenant).unwrap();
@@ -398,17 +426,21 @@ fn compact_wave() {
     // Both the mover and the newcomer stay bit-exact.
     assert_bit_exact(&mut rt, s.tenant, 8, 61);
     assert_bit_exact(&mut rt, adm.tenant, 8, 62);
+    if audit {
+        sched_verify(&rt, "post-compaction scheduler state");
+    }
     println!("compaction wave OK: admitted via compaction, bit-exact across the move.");
 }
 
 /// Phase 7: cache-aware placement on a mixed-width pool, measured against
 /// plain first fit on the identical submission sequence.
-fn cache_wave() {
+fn cache_wave(verify_on_admit: bool, audit: bool) {
     println!("\n=== cache wave: cache-aware placement on a mixed-width pool ===");
-    fn scenario(cache_aware: bool) -> (Runtime, TenantId) {
+    fn scenario(cache_aware: bool, verify_on_admit: bool) -> (Runtime, TenantId) {
         let cfg = RuntimeConfig {
             grids: vec![VcgraArch::new(6, 4, 2), VcgraArch::new(6, 5, 2)],
             cache_aware,
+            verify_on_admit,
             ..RuntimeConfig::default()
         };
         let mut rt = Runtime::new(cfg);
@@ -432,8 +464,8 @@ fn cache_wave() {
         (rt, second.tenant)
     }
 
-    let (rt_first_fit, _) = scenario(false);
-    let (mut rt_aware, second) = scenario(true);
+    let (rt_first_fit, _) = scenario(false, verify_on_admit);
+    let (mut rt_aware, second) = scenario(true, verify_on_admit);
     let (ff, aw) = (rt_first_fit.cache_stats(), rt_aware.cache_stats());
     println!(
         "  {:<22} {:>6} {:>8} {:>10} {:>10}",
@@ -465,6 +497,9 @@ fn cache_wave() {
     assert!(rt_aware.ledger().cold_compiles < rt_first_fit.ledger().cold_compiles);
     assert_eq!(rt_aware.tenant(second).unwrap().lease.grid, 1, "placed on the warm width");
     assert_bit_exact(&mut rt_aware, second, 8, 81);
+    if audit {
+        sched_verify(&rt_aware, "post-cache-wave scheduler state");
+    }
     println!(
         "cache wave OK: warm-hit rate {:.0}% -> {:.0}%, one compile saved.",
         ff.hit_rate() * 100.0,
@@ -476,23 +511,30 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = xbench::smoke_mode();
     let check = args.iter().any(|a| a == "--check");
+    let verify_mode = args.iter().any(|a| a == "--verify");
     let only_queue = args.iter().any(|a| a == "--queue");
     let only_compact = args.iter().any(|a| a == "--compact");
     let selected = only_queue || only_compact;
+    // `--verify` gates every mutating operation; `--check` additionally
+    // re-proves each wave's final state so ledger drift fails the gate.
+    let audit = verify_mode || check;
 
     if check || !selected {
-        soak(smoke);
+        soak(smoke, verify_mode, audit);
     }
     if check || !selected || only_queue {
-        queue_wave();
+        queue_wave(verify_mode, audit);
     }
     if check || !selected || only_compact {
-        compact_wave();
+        compact_wave(verify_mode, audit);
     }
     if check || !selected {
-        cache_wave();
+        cache_wave(verify_mode, audit);
     }
     if check {
-        println!("\nCHECK OK: soak + queue + compaction + cache waves all asserted green.");
+        println!(
+            "\nCHECK OK: soak + queue + compaction + cache waves asserted green, \
+             scheduler invariants re-proven per wave."
+        );
     }
 }

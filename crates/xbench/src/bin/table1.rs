@@ -14,20 +14,28 @@
 //! the table.
 //!
 //! Usage: `cargo run -p xbench --release --bin table1 [--skip-par]
-//!         [--smoke] [--json <path>]`
+//!         [--smoke] [--verify] [--json <path>]`
 //! (`--smoke` maps a reduced (5,10) PE and skips the PaR columns — the
-//! paper-scale run is the scheduled CI job's business; `--json` writes
-//! the machine-readable benchmark record, e.g. `out/BENCH_table1.json`)
+//! paper-scale run is the scheduled CI job's business; `--verify`
+//! re-proves every produced artifact through `vcgra-verify` — mapped
+//! designs against the source AIG, route trees against the fabric
+//! linter, wave schedules against the race detector — and both prints
+//! and records the audit overhead; `--json` writes the machine-readable
+//! benchmark record, e.g. `out/BENCH_table1.json`)
 
+use fabric::rrg::RouteGraph;
 use mapping::MapStats;
 use par::{ParEngine, ParReport};
 use softfloat::FpFormat;
+use verify::Verifier;
 use xbench::{build_pe_aig_with, map_pe, print_header, print_row, reduction};
 
 struct FlowResult {
     map_seconds: f64,
     stats: MapStats,
     rep: Option<ParReport>,
+    /// `--verify` audit reports (equiv, and with PaR: routes + waves).
+    verify: Vec<verify::VerifyReport>,
 }
 
 fn print_probes(label: &str, rep: &ParReport) {
@@ -84,14 +92,53 @@ fn json_flow(f: &FlowResult) -> String {
         }
         s.push_str("\n      ]");
     }
+    if !f.verify.is_empty() {
+        s.push_str(",\n      \"verify\": [");
+        for (i, r) in f.verify.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n        ");
+            s.push_str(&r.to_json());
+        }
+        s.push_str("\n      ]");
+    }
     s.push_str("\n    }");
     s
+}
+
+/// Runs the `--verify` audits for one flow: AIG-vs-mapped equivalence
+/// always; route lint and a wave-schedule audit when PaR ran. Returns
+/// the reports; the caller fails the run on any violation.
+fn audit_flow(
+    label: &str,
+    aig: &logic::aig::Aig,
+    design: &mapping::MappedDesign,
+    netlist: Option<&par::ParNetlist>,
+    rep: &mut Option<ParReport>,
+    draws: usize,
+) -> Vec<verify::VerifyReport> {
+    let v = Verifier::new();
+    let mut reports = vec![v.verify_equivalence(aig, design, draws, 0x7AB1)];
+    if let (Some(nl), Some(rep)) = (netlist, rep.as_mut()) {
+        let graph = RouteGraph::build(rep.arch, rep.min_channel_width);
+        let nets = par::troute::terminals(nl, &rep.placement, &graph);
+        reports.push(v.verify_routes(&graph, &nets, &rep.result.trees));
+        if let Some(waves) = rep.wave_audit.take() {
+            reports.push(waves);
+        }
+    }
+    for r in &reports {
+        println!("  {label:<15} {}", r.summary());
+    }
+    reports
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = xbench::smoke_mode();
     let skip_par = smoke || args.iter().any(|a| a == "--skip-par");
+    let verify_mode = args.iter().any(|a| a == "--verify");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -130,12 +177,19 @@ fn main() {
     );
 
     let mut conv_flow =
-        FlowResult { map_seconds: t_conv.as_secs_f64(), stats: sc, rep: None };
-    let mut par_flow = FlowResult { map_seconds: t_par.as_secs_f64(), stats: sp, rep: None };
+        FlowResult { map_seconds: t_conv.as_secs_f64(), stats: sc, rep: None, verify: Vec::new() };
+    let mut par_flow =
+        FlowResult { map_seconds: t_par.as_secs_f64(), stats: sp, rep: None, verify: Vec::new() };
 
+    let mut netlists = None;
     if !skip_par {
         println!("\nPlace & route (par-engine, min channel width search) ...");
-        let engine = ParEngine::new(par::EngineOptions::default());
+        // With `--verify`, the engine re-routes at the final width under
+        // the wave auditor so the report lands in `rep.wave_audit`.
+        let engine = ParEngine::new(par::EngineOptions {
+            audit_waves: verify_mode,
+            ..par::EngineOptions::default()
+        });
         let nl_c = par::extract(&conv);
         let nl_p = par::extract(&par);
         let t2 = std::time::Instant::now();
@@ -196,8 +250,35 @@ fn main() {
         print_probes("parameterized router effort", &rep_p);
         conv_flow.rep = Some(rep_c);
         par_flow.rep = Some(rep_p);
+        netlists = Some((nl_c, nl_p));
     } else {
         println!("\n(--skip-par: place & route columns skipped)");
+    }
+
+    let mut violation_count = 0usize;
+    if verify_mode {
+        let draws = if smoke { 4 } else { 2 };
+        let (nl_c, nl_p) = match &netlists {
+            Some((c, p)) => (Some(c), Some(p)),
+            None => (None, None),
+        };
+        println!("\nVerification (vcgra-verify) ...");
+        conv_flow.verify =
+            audit_flow("conventional", &conv_aig, &conv, nl_c, &mut conv_flow.rep, draws);
+        par_flow.verify =
+            audit_flow("parameterized", &par_aig, &par, nl_p, &mut par_flow.rep, draws);
+        let all = conv_flow.verify.iter().chain(&par_flow.verify);
+        let (mut passes, mut overhead) = (0usize, 0.0f64);
+        for r in all {
+            passes += 1;
+            overhead += r.seconds;
+            violation_count += r.violations.len();
+        }
+        println!(
+            "  verification overhead: {overhead:.3} s across {passes} passes \
+             ({} violations)",
+            violation_count
+        );
     }
 
     if let Some(path) = json_path {
@@ -213,5 +294,10 @@ fn main() {
         }
         std::fs::write(&path, json).expect("write json");
         println!("\nwrote {path}");
+    }
+
+    if violation_count > 0 {
+        eprintln!("table1: {violation_count} invariant violations — failing the run");
+        std::process::exit(1);
     }
 }

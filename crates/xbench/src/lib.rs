@@ -11,13 +11,19 @@
 //! | `figures`     | Figs. 1/4 (DOT renders), Fig. 5 (pipeline stage PGMs)  |
 //! | `ablations`   | design-choice sweeps (hops, cut budget, precision)     |
 //! | `serve`       | `vcgra-runtime` mixed-tenant soak + throughput table   |
+//! | `verify`      | `vcgra-verify` invariant sweep over every artifact kind|
 //!
-//! `figures`, `reconfig`, `compile_time`, `ablations` and `serve` accept
-//! `--smoke` (reduced formats/grids/volumes) so CI can run all of them
-//! end-to-end in seconds.
+//! `figures`, `reconfig`, `compile_time`, `ablations`, `serve` and
+//! `verify` accept `--smoke` (reduced formats/grids/volumes) so CI can
+//! run all of them end-to-end in seconds. `table1` and `serve` also take
+//! `--verify`, which re-proves their artifacts through `vcgra-verify`
+//! and reports the audit overhead alongside the benchmark figures.
 //!
 //! Criterion micro-benchmarks live in `benches/` (SCG throughput, router,
 //! mapper, FloPoCo arithmetic, filter kernels).
+
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
 
 use logic::aig::Aig;
 use mapping::{MapOptions, MappedDesign};

@@ -58,6 +58,6 @@ fn main() {
 
     // Verify the parameterized mapping against the netlist for a few
     // random settings.
-    mapping::verify::assert_equivalent(&par_aig, &par, 3, 99);
+    verify::equiv::assert_equivalent(&par_aig, &par, 3, 99);
     println!("equivalence verified for random settings values");
 }

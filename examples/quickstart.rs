@@ -80,7 +80,7 @@ fn main() {
     }
 
     // And the mapped designs are equivalent to the source netlist.
-    mapping::verify::assert_equivalent(&aig, &par, 8, 42);
-    mapping::verify::assert_equivalent(&aig, &conv, 2, 43);
+    verify::equiv::assert_equivalent(&aig, &par, 8, 42);
+    verify::equiv::assert_equivalent(&aig, &conv, 2, 43);
     println!("equivalence checks passed — see README.md for the full flow");
 }

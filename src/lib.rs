@@ -6,6 +6,8 @@
 //! overview, the crate map, and the per-experiment index (the `xbench`
 //! binaries reproduce the paper's Tables I/II and figures).
 
+#![forbid(unsafe_code)]
+
 pub use dcs;
 pub use fabric;
 pub use logic;
@@ -15,3 +17,4 @@ pub use retina;
 pub use runtime;
 pub use softfloat;
 pub use vcgra;
+pub use verify;
