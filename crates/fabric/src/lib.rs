@@ -20,4 +20,4 @@ pub mod frames;
 pub mod rrg;
 
 pub use arch::{FabricArch, Site};
-pub use rrg::{NodeKind, NodeState, RouteGraph};
+pub use rrg::{CutPressure, NodeKind, NodeState, RouteGraph};

@@ -166,6 +166,93 @@ impl RouteGraph {
         }
     }
 
+    /// Inclusive x-extent of every node location — the coordinate span a
+    /// spatial partitioner must tile.
+    pub fn x_span(&self) -> (f32, f32) {
+        let s = self.arch.size as f32;
+        // Locations are structural: pads sit at 0 and s+1, channel wires
+        // inside [0.5, s+0.5], logic tiles at 1..=s.
+        (0.0, s + 1.0)
+    }
+
+    /// Tiles the x-span into `k` equal-width column regions, returned as
+    /// half-open `[lo, hi)` intervals (the last interval is padded past
+    /// the span so a containment test covers the rightmost nodes).
+    /// Deterministic in `(arch, k)` alone.
+    pub fn column_regions(&self, k: usize) -> Vec<(f32, f32)> {
+        let k = k.max(1);
+        let (x0, x1) = self.x_span();
+        let step = (x1 - x0) / k as f32;
+        (0..k)
+            .map(|i| {
+                let lo = if i == 0 { x0 - 1.0 } else { x0 + step * i as f32 };
+                let hi = if i + 1 == k { x1 + 1.0 } else { x0 + step * (i + 1) as f32 };
+                (lo, hi)
+            })
+            .collect()
+    }
+
+    /// Wires of one column/row cut's vertex separator **per track**: any
+    /// path crossing the cut between adjacent tile columns must touch the
+    /// crossing channel column (`s` wires per track) or one of the
+    /// horizontal wires entering the cut's switch-block column (`s + 1`
+    /// per track) — `2s + 1` total, matching the sound width lower bound.
+    pub fn separator_per_track(&self) -> usize {
+        2 * self.arch.size + 1
+    }
+
+    /// Per-cut routing pressure of a state: for every vertical and
+    /// horizontal cut, tallies the separator's used wires and its residual
+    /// overuse, returning the worst cut of each. The width search turns
+    /// these into overuse-sharpened `lo` advances.
+    pub fn cut_pressure(&self, state: &NodeState) -> CutPressure {
+        let s = self.arch.size;
+        if s < 2 {
+            return CutPressure { max_used: 0, max_overuse: 0 };
+        }
+        // used/overuse per vertical cut k (x = k + 1.5) and horizontal cut
+        // k (y = k + 1.5), k in 0..s-1.
+        let mut used = vec![0usize; 2 * (s - 1)];
+        let mut over = vec![0usize; 2 * (s - 1)];
+        let mut add = |cut: usize, occ: u16| {
+            if occ > 0 {
+                used[cut] += 1;
+                over[cut] += (occ - 1) as usize;
+            }
+        };
+        for id in self.chanx_base as u32..self.node_count() as u32 {
+            let occ = state.occ(id);
+            if occ == 0 {
+                continue;
+            }
+            match self.kinds[id as usize] {
+                NodeKind::ChanX { x, y, .. } => {
+                    // Horizontal wire at tile column x crosses vertical cut
+                    // x-1; it lies on horizontal cut y-1's separator row.
+                    if x >= 1 {
+                        add(x - 1, occ);
+                    }
+                    if (1..s).contains(&y) {
+                        add(s - 1 + (y - 1), occ);
+                    }
+                }
+                NodeKind::ChanY { x, y, .. } => {
+                    if (1..s).contains(&x) {
+                        add(x - 1, occ);
+                    }
+                    if y >= 1 {
+                        add(s - 1 + (y - 1), occ);
+                    }
+                }
+                _ => {}
+            }
+        }
+        CutPressure {
+            max_used: used.iter().copied().max().unwrap_or(0),
+            max_overuse: over.iter().copied().max().unwrap_or(0),
+        }
+    }
+
     /// Builds the RRG for a channel width.
     pub fn build(arch: FabricArch, width: usize) -> RouteGraph {
         assert!(width >= 2);
@@ -394,10 +481,21 @@ impl RouteGraph {
     }
 }
 
+/// Worst-cut routing pressure over all vertical and horizontal cuts of a
+/// fabric, as reported by [`RouteGraph::cut_pressure`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CutPressure {
+    /// Most separator wires in use across any single cut.
+    pub max_used: usize,
+    /// Largest summed overuse (occupancy beyond capacity) across any cut.
+    pub max_overuse: usize,
+}
+
 /// Mutable routing state over a [`RouteGraph`]: per-node occupancy and
 /// PathFinder history, updated **in place** by the incremental router
 /// instead of being rebuilt per iteration. Pins are capacity-unlimited;
 /// only channel wires count toward occupancy and wirelength.
+#[derive(Clone)]
 pub struct NodeState {
     occ: Vec<u16>,
     hist: Vec<f32>,

@@ -26,7 +26,7 @@ pub enum Source {
 ///
 /// `ptt[m]` is the truth-table bit for input minterm `m`, as a function of
 /// the parameters. If every entry is constant this is an ordinary LUT.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tlut {
     /// LUT input connections, LSB of the minterm first.
     pub inputs: Vec<Source>,
@@ -52,7 +52,7 @@ impl Tlut {
 /// function (`invert = true`); consumers absorb the static inversion into
 /// their truth tables (LUTs) or their own polarity annotation (TCONs) —
 /// this is the phase-assignment step of TCONMAP.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tcon {
     /// Candidate sources with their activation conditions (disjoint cover
     /// together with `const0`/`const1`; on overlap the first match wins).
@@ -66,7 +66,7 @@ pub struct Tcon {
 }
 
 /// One node of a mapped design.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MappedNode {
     /// A LUT (tunable or static).
     Lut(Tlut),
@@ -75,7 +75,7 @@ pub enum MappedNode {
 }
 
 /// A primary output: named, with a source and an optional inversion.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MappedOutput {
     /// Output name (matches the source AIG).
     pub name: String,

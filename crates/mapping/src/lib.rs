@@ -27,4 +27,6 @@ pub mod design;
 pub mod mapper;
 
 pub use design::{MapStats, MappedDesign, MappedNode, Source, SpecializedDesign, Tcon, Tlut};
-pub use mapper::{map_conventional, map_parameterized, MapOptions};
+pub use mapper::{
+    map_conventional, map_parameterized, map_parameterized_with_effort, MapEffort, MapOptions,
+};

@@ -45,25 +45,55 @@ pub struct MapOptions {
     pub cut_eval_limit: usize,
     /// Extract TCONs (parameterized flow) or produce LUTs only.
     pub use_tcons: bool,
+    /// Memoize per-cut BDD results across the whole map. Structurally
+    /// repeated cones (ripple chains, bit-sliced datapaths) reach the
+    /// same interned PTT signature over and over; with the cache on, the
+    /// TCON tautology check and the PTT conjunction are computed once
+    /// per distinct signature and replayed from the cache afterwards.
+    /// Because every [`Bdd`] handle is interned and the manager's own
+    /// operation caches are deterministic, a cache hit returns exactly
+    /// the handles a recomputation would have — mapped designs are
+    /// bit-identical with the cache on or off.
+    pub cut_cache: bool,
 }
 
 impl Default for MapOptions {
     fn default() -> Self {
-        Self { k: 4, cuts_per_node: 6, cut_eval_limit: 12, use_tcons: true }
+        Self { k: 4, cuts_per_node: 6, cut_eval_limit: 12, use_tcons: true, cut_cache: true }
     }
+}
+
+/// Work counters for one mapping run — how often the per-cut caches
+/// ([`MapOptions::cut_cache`]) short-circuited BDD work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapEffort {
+    /// TCON tautology checks requested (cache hits + misses).
+    pub tcon_checks: usize,
+    /// TCON checks answered from the cut-signature cache.
+    pub tcon_cache_hits: usize,
+    /// PTT conjunctions requested (cache hits + misses).
+    pub ptt_merges: usize,
+    /// PTT conjunctions answered from the signature cache.
+    pub ptt_cache_hits: usize,
 }
 
 /// Conventional flow: parameters are treated as regular inputs and the
 /// result contains only plain LUTs (the Table I baseline).
 pub fn map_conventional(aig: &Aig, opts: MapOptions) -> MappedDesign {
-    run_map(aig, MapOptions { use_tcons: false, ..opts }, false)
+    run_map(aig, MapOptions { use_tcons: false, ..opts }, false).0
 }
 
 /// Parameterized flow: honors `InputKind::Param`, extracts TLUTs and TCONs.
 pub fn map_parameterized(aig: &Aig, opts: MapOptions) -> MappedDesign {
+    run_map(aig, opts, true).0
+}
+
+/// [`map_parameterized`] plus the cut-cache work counters.
+pub fn map_parameterized_with_effort(aig: &Aig, opts: MapOptions) -> (MappedDesign, MapEffort) {
     run_map(aig, opts, true)
 }
 
+#[derive(Clone)]
 struct TconCand {
     /// (leaf position, polarity q, activation condition): under the
     /// condition, `f == leaf ⊕ q`. Conditions are pairwise disjoint.
@@ -204,10 +234,16 @@ fn prune_lut(leaves: &[u32], ptt: &[Bdd]) -> (Vec<u32>, Vec<Bdd>) {
     (new_leaves, new_ptt)
 }
 
-fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> MappedDesign {
+fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> (MappedDesign, MapEffort) {
     assert!(opts.k >= 2 && opts.k <= 6);
     let mut bdd = BddManager::new();
     let live = aig.live_nodes();
+    // Per-cut memo tables ([`MapOptions::cut_cache`]). Keys are interned
+    // handle vectors, so key equality is function equality; values replay
+    // the exact handles the original computation produced.
+    let mut effort = MapEffort::default();
+    let mut tcon_cache: FxHashMap<Vec<Bdd>, Option<TconCand>> = FxHashMap::default();
+    let mut ptt_cache: FxHashMap<(Vec<Bdd>, Vec<Bdd>), Vec<Bdd>> = FxHashMap::default();
 
     // Input bookkeeping: regular-input index per AIG input, param variable
     // per AIG input.
@@ -357,12 +393,41 @@ fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> MappedDesign {
                     let eb = expand_ptt(&cb.ptt, &cb.leaves, &leaves);
                     let fa = if a.is_neg() { negate_ptt(&mut bdd, &ea) } else { ea };
                     let fb = if b.is_neg() { negate_ptt(&mut bdd, &eb) } else { eb };
-                    let ptt = and_ptt(&mut bdd, &fa, &fb);
-                    let k = leaves.len();
-                    let tcon = if opts.use_tcons {
-                        tcon_check(&mut bdd, &ptt, k)
+                    effort.ptt_merges += 1;
+                    let ptt = if opts.cut_cache {
+                        match ptt_cache.get(&(fa.clone(), fb.clone())) {
+                            Some(p) => {
+                                effort.ptt_cache_hits += 1;
+                                p.clone()
+                            }
+                            None => {
+                                let p = and_ptt(&mut bdd, &fa, &fb);
+                                ptt_cache.insert((fa, fb), p.clone());
+                                p
+                            }
+                        }
                     } else {
+                        and_ptt(&mut bdd, &fa, &fb)
+                    };
+                    let k = leaves.len();
+                    let tcon = if !opts.use_tcons {
                         None
+                    } else if opts.cut_cache {
+                        effort.tcon_checks += 1;
+                        match tcon_cache.get(&ptt) {
+                            Some(c) => {
+                                effort.tcon_cache_hits += 1;
+                                c.clone()
+                            }
+                            None => {
+                                let c = tcon_check(&mut bdd, &ptt, k);
+                                tcon_cache.insert(ptt.clone(), c.clone());
+                                c
+                            }
+                        }
+                    } else {
+                        effort.tcon_checks += 1;
+                        tcon_check(&mut bdd, &ptt, k)
                     };
                     // Arrival and area flow: TCONs are free logic-wise;
                     // their selected leaves' costs are shared through
@@ -625,7 +690,7 @@ fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> MappedDesign {
         outputs.push(MappedOutput { name: name.clone(), source, invert });
     }
 
-    MappedDesign { nodes, outputs, input_names, param_names, bdd }
+    (MappedDesign { nodes, outputs, input_names, param_names, bdd }, effort)
 }
 
 #[cfg(test)]

@@ -139,3 +139,37 @@ fn xor_with_param_is_single_tlut() {
     assert_eq!(s.tcons, 0, "an inverting mux is not routable: {s:?}");
     assert_equivalent(&g, &d, 4, 12);
 }
+
+#[test]
+fn cut_cache_is_bit_identical_and_actually_hits() {
+    // A bit-sliced constant multiplier: heavy structural repetition, so
+    // the same PTT signatures recur across slices — exactly the designs
+    // `MapOptions::cut_cache` exists for.
+    let mut g = Aig::new();
+    let x = g.input_vec("x", 6, InputKind::Regular);
+    let c = g.input_vec("c", 6, InputKind::Param);
+    let prod = softfloat::gates::mul_array(&mut g, &x, &c);
+    g.add_output_vec("p", &prod);
+
+    let (cached, effort) =
+        mapping::map_parameterized_with_effort(&g, MapOptions::default());
+    let uncached =
+        map_parameterized(&g, MapOptions { cut_cache: false, ..MapOptions::default() });
+
+    // Handles are interned and the manager's op caches are deterministic,
+    // so the cache must not perturb the result in any way — node for
+    // node, handle for handle.
+    assert_eq!(cached.nodes, uncached.nodes, "cut cache changed the mapping");
+    assert_eq!(cached.outputs, uncached.outputs);
+    assert_eq!(cached.stats(), uncached.stats());
+    assert_equivalent(&g, &cached, 5, 0xCAFE);
+
+    // And it must actually be a cache, not dead weight.
+    assert!(
+        effort.tcon_cache_hits > 0,
+        "no TCON-check hits on a bit-sliced design: {effort:?}"
+    );
+    assert!(effort.ptt_cache_hits > 0, "no PTT-merge hits: {effort:?}");
+    assert!(effort.tcon_checks >= effort.tcon_cache_hits);
+    assert!(effort.ptt_merges >= effort.ptt_cache_hits);
+}

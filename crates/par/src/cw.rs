@@ -73,6 +73,10 @@ pub struct ParReport {
     /// Wave-schedule serial-equivalence report from an audited re-route
     /// at the minimum width (`Some` iff `EngineOptions::audit_waves`).
     pub wave_audit: Option<verify::VerifyReport>,
+    /// Partition-schedule ownership report from a partitioned re-route at
+    /// the minimum width, bit-compared against the audited run (`Some`
+    /// iff `EngineOptions::audit_waves` and ≥ 2 partitions resolve).
+    pub partition_audit: Option<verify::VerifyReport>,
 }
 
 /// Routes at a specific width; helper for probes.

@@ -58,8 +58,18 @@ pub struct EngineOptions {
     /// After the width search, re-route cold at the minimum width with
     /// the wave-schedule auditor attached and attach its
     /// serial-equivalence report to the [`ParReport`]. Costs one extra
-    /// cold routing run; never changes results.
+    /// cold routing run; never changes results. With `partitions ≥ 2` the
+    /// run also records the partition schedule and attaches the
+    /// partition-ownership report.
     pub audit_waves: bool,
+    /// Column regions for spatial partition routing. `1` disables the
+    /// partition path, `0` picks a fabric-sized count automatically
+    /// (≈ one region per 12 tile columns, capped at 8). Results never
+    /// depend on it.
+    pub partitions: usize,
+    /// Safety margin (tiles) around partition borders; nets whose boxes
+    /// come this close to a border commit in order on the coordinator.
+    pub halo: f32,
 }
 
 impl Default for EngineOptions {
@@ -78,6 +88,8 @@ impl Default for EngineOptions {
             min_width: 6,
             max_width: 96,
             audit_waves: false,
+            partitions: 0,
+            halo: 1.0,
         }
     }
 }
@@ -108,6 +120,8 @@ impl ParEngine {
             threads: self.threads(),
             bbox: self.opts.bbox,
             incremental: self.opts.incremental,
+            partitions: self.opts.partitions,
+            halo: self.opts.halo,
         }
     }
 
@@ -123,7 +137,7 @@ impl ParEngine {
         placement: &Placement,
         graph: &RouteGraph,
     ) -> Result<RouteResult, Unroutable> {
-        route_core(netlist, placement, graph, self.opts.route, self.knobs(), None, None)
+        route_core(netlist, placement, graph, self.opts.route, self.knobs(), None, None, None)
     }
 
     /// One routing run on a prebuilt graph with the wave-schedule auditor
@@ -149,8 +163,33 @@ impl ParEngine {
             self.knobs(),
             None,
             Some(&mut auditor),
+            None,
         );
         (r, auditor.finish())
+    }
+
+    /// One routing run on the partition path with the schedule recorded,
+    /// plus the partition-ownership report over the recorded plans
+    /// (region tiling, worker exclusivity, commit rank order). The
+    /// routing result is bit-identical to [`ParEngine::route`].
+    pub fn route_partition_audited(
+        &self,
+        netlist: &ParNetlist,
+        placement: &Placement,
+        graph: &RouteGraph,
+    ) -> (Result<RouteResult, Unroutable>, verify::VerifyReport) {
+        let mut plans: Vec<verify::PartitionPlan> = Vec::new();
+        let r = route_core(
+            netlist,
+            placement,
+            graph,
+            self.opts.route,
+            self.knobs(),
+            None,
+            None,
+            Some(&mut plans),
+        );
+        (r, verify::Verifier::new().verify_partition(&plans))
     }
 
     /// Minimum-channel-width search with the per-probe effort log.
@@ -179,11 +218,30 @@ impl ParEngine {
         let graph = RouteGraph::build(arch, search.min_width);
         audit(netlist, &placement, &graph, &search.result)
             .map_err(|e| format!("route audit failed at width {}: {e}", search.min_width))?;
-        let wave_audit = if self.opts.audit_waves {
-            let (_, report) = self.route_audited(netlist, &placement, &graph);
-            Some(report)
+        let (wave_audit, partition_audit) = if self.opts.audit_waves {
+            let (cold, report) = self.route_audited(netlist, &placement, &graph);
+            let resolved = if self.opts.partitions == 0 {
+                crate::incr::auto_partitions(arch.size)
+            } else {
+                self.opts.partitions
+            };
+            let partition_audit = if resolved >= 2 {
+                let (pr, preport) = self.route_partition_audited(netlist, &placement, &graph);
+                // The partition path must reproduce the audited wave
+                // schedule bit-exactly — a divergence is a soundness bug,
+                // not a QoR regression, so it fails the run outright.
+                if let (Ok(a), Ok(b)) = (&cold, &pr) {
+                    if a.trees != b.trees {
+                        return Err("partition routing diverged from the wave schedule".into());
+                    }
+                }
+                Some(preport)
+            } else {
+                None
+            };
+            (Some(report), partition_audit)
         } else {
-            None
+            (None, None)
         };
         Ok(ParReport {
             arch,
@@ -195,6 +253,7 @@ impl ParEngine {
             place_seconds,
             route_seconds,
             wave_audit,
+            partition_audit,
         })
     }
 }

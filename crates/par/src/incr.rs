@@ -22,6 +22,16 @@
 //!   across `threads = 1..N`; threads only change who executes a wave
 //!   member. Nets that fail inside their box are deferred and retried
 //!   serially after the waves with a larger box.
+//! * **Spatial partition routing.** With `partitions ≥ 2` the fabric is
+//!   tiled into column regions; each worker thread takes exclusive
+//!   ownership of a contiguous span of regions (a private `NodeState`
+//!   replica) and streams through the region-interior nets, while
+//!   boundary-crossing nets route on the coordinator in net order,
+//!   broadcasting occupancy deltas to the workers whose spans they touch.
+//!   The schedule is the *same* flattened wave order — interior tasks of
+//!   different regions commute because their boxes are region-confined,
+//!   so the result is bit-identical to the wave path for any partition
+//!   count and any thread count (pinned by `tests/determinism.rs`).
 
 use crate::netlist::ParNetlist;
 use crate::tplace::Placement;
@@ -30,6 +40,7 @@ use fabric::rrg::{NodeState, RouteGraph};
 use logic::fxhash::FxHashSet;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use verify::partition::{PartitionPlan, PartitionTask};
 use verify::{WaveAuditor, WaveFootprint};
 
 /// Engine knobs threaded into the core (subset of `EngineOptions` that the
@@ -43,13 +54,32 @@ pub(crate) struct Knobs {
     /// Reroute only dirty nets after the first iteration (the seed router's
     /// behavior); `false` restores full rip-up-every-net PathFinder.
     pub incremental: bool,
+    /// Column regions for spatial partition routing (`0` = auto from the
+    /// fabric size, `1` disables the partition path). Results do not
+    /// depend on it.
+    pub partitions: usize,
+    /// Safety margin (tiles) around region borders: a net whose effective
+    /// box comes within `halo` of a border is classified boundary-crossing
+    /// and committed in order on the coordinator.
+    pub halo: f32,
 }
 
 impl Default for Knobs {
     fn default() -> Self {
-        Self { threads: 1, bbox: true, incremental: true }
+        Self { threads: 1, bbox: true, incremental: true, partitions: 1, halo: 1.0 }
     }
 }
+
+/// Fabric-size-derived partition count (used when `EngineOptions::
+/// partitions == 0`): one column region per ~12 tile columns, capped at 8.
+/// Deterministic in the fabric alone so auto never perturbs results.
+pub(crate) fn auto_partitions(size: usize) -> usize {
+    (size / 12).clamp(1, 8)
+}
+
+/// Smallest dirty worklist worth paying replica clones + channel traffic
+/// for; below it the wave path is faster and results are identical anyway.
+const MIN_PARTITION_DIRTY: usize = 48;
 
 /// Staged bbox margins (tiles around the terminal extent). The last stage
 /// is the whole fabric.
@@ -246,6 +276,7 @@ fn build_waves(dirty: &[u32], bboxes: &[BBox]) -> Vec<Vec<usize>> {
 /// to the parallel execution because each member's search is pure in the
 /// immutable pre-wave snapshot, so serialization only changes *who* runs
 /// a member, never what it touches.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn route_core(
     netlist: &ParNetlist,
     placement: &Placement,
@@ -254,10 +285,18 @@ pub(crate) fn route_core(
     knobs: Knobs,
     seed_trees: Option<Vec<Vec<u32>>>,
     mut auditor: Option<&mut WaveAuditor>,
+    mut plans: Option<&mut Vec<PartitionPlan>>,
 ) -> Result<RouteResult, Unroutable> {
     let n_nets = netlist.nets.len();
     let n_nodes = graph.node_count();
     let threads = knobs.threads.max(1);
+    let k_regions = if knobs.partitions == 0 {
+        auto_partitions(graph.arch.size)
+    } else {
+        knobs.partitions
+    };
+    let regions: Vec<(f32, f32)> =
+        if k_regions >= 2 { graph.column_regions(k_regions) } else { Vec::new() };
 
     // Terminals in RRG space; sinks ordered far-first like the reference
     // router (route the hardest sink while the tree is small).
@@ -333,8 +372,16 @@ pub(crate) fn route_core(
     let mut debias = false;
 
     let mut scratches: Vec<Scratch> = (0..threads).map(|_| Scratch::new(n_nodes)).collect();
+    // Per-worker occupancy replicas for the partition path, allocated on
+    // first use and refreshed (clone_from, no realloc) each partitioned
+    // iteration.
+    let mut replicas: Vec<NodeState> = Vec::new();
     let mut pres_fac = opts.first_pres_fac;
     let mut ripups = 0usize;
+    let mut waves_total = 0usize;
+    let mut interior_routes = 0usize;
+    let mut boundary_routes = 0usize;
+    let mut region_occupancy: Vec<usize> = vec![0; if k_regions >= 2 { k_regions } else { 0 }];
     let mut best_overused = usize::MAX;
     let mut stalled = 0usize;
     // Thrash escalation: in the endgame (small overuse), a net that keeps
@@ -380,49 +427,150 @@ pub(crate) fn route_core(
 
         let bboxes: Vec<BBox> =
             dirty.iter().map(|&i| bbox_of(i as usize, stage[i as usize])).collect();
-        let waves = build_waves(&dirty, &bboxes);
+        // Effective box = search box ∪ the extent of the tree about to be
+        // ripped. Warm-seeded trees translated from a wider probe can
+        // stick out of the *current* stage box, and both wave packing and
+        // partition ownership must cover every node a member writes —
+        // cold runs have no seed trees, so there eff == the stage box and
+        // packing is unchanged.
+        let eff: Vec<BBox> = dirty
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let mut bb = bboxes[pos];
+                for &n in &trees[i as usize] {
+                    let (x, y) = graph.location_f32(n);
+                    bb.x0 = bb.x0.min(x);
+                    bb.y0 = bb.y0.min(y);
+                    bb.x1 = bb.x1.max(x);
+                    bb.y1 = bb.y1.max(y);
+                }
+                bb
+            })
+            .collect();
+        let waves = build_waves(&dirty, &eff);
+        waves_total += waves.len();
+
+        // Partition classification over the flattened wave order (the
+        // canonical serial order every execution strategy reproduces).
+        let use_partition = k_regions >= 2
+            && threads >= 2
+            && auditor.is_none()
+            && dirty.len() >= MIN_PARTITION_DIRTY;
+        let class: Vec<Option<usize>> = if k_regions >= 2 {
+            (0..dirty.len())
+                .map(|pos| {
+                    let bb = eff[pos];
+                    regions
+                        .iter()
+                        .position(|&(lo, hi)| bb.x0 - knobs.halo >= lo && bb.x1 + knobs.halo <= hi)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if k_regions >= 2 {
+            if let Some(p) = plans.as_deref_mut() {
+                let order: Vec<usize> = waves.iter().flatten().copied().collect();
+                p.push(PartitionPlan {
+                    iteration: iter,
+                    regions: regions.clone(),
+                    halo: knobs.halo,
+                    executed: use_partition,
+                    tasks: order
+                        .iter()
+                        .enumerate()
+                        .map(|(rank, &pos)| PartitionTask {
+                            net: dirty[pos],
+                            rank,
+                            region: class[pos],
+                            x0: eff[pos].x0,
+                            x1: eff[pos].x1,
+                        })
+                        .collect(),
+                });
+            }
+        }
 
         let mut deferred: Vec<u32> = Vec::new();
-        for wave in &waves {
-            // The write footprint of a member includes the tree it is
-            // about to rip — capture old trees before the rip-up.
-            let old_writes: Vec<Vec<u32>> = if auditor.is_some() {
-                wave.iter().map(|&pos| trees[dirty[pos] as usize].clone()).collect()
-            } else {
-                Vec::new()
-            };
-            // Rip up this wave's nets only, right before rerouting them —
-            // later waves keep occupying their old wires so the snapshot
-            // the wave searches against stays faithful to the serial
-            // rip-right-before-reroute dynamics. Within the wave, a
-            // member's rip-up touches only its own (disjoint) box.
-            for &pos in wave {
-                let i = dirty[pos] as usize;
-                for &n in &trees[i] {
-                    state.release(n);
-                }
-                trees[i].clear();
+        if use_partition {
+            let order: Vec<usize> = waves.iter().flatten().copied().collect();
+            let workers = (threads - 1).min(k_regions).max(1);
+            while replicas.len() < workers {
+                replicas.push(state.clone());
             }
-            let results = if let Some(aud) = auditor.as_deref_mut() {
-                audited_wave(
-                    graph, &state, &opts, pres_fac, &dirty, wave, &bboxes, &srcs, &sinks,
-                    &mut scratches[0], &old_writes, iter, aud,
-                )
-            } else {
-                route_wave(
-                    graph, &state, &opts, pres_fac, &dirty, wave, &bboxes, &srcs, &sinks,
-                    &mut scratches,
-                )
-            };
-            for (net, res) in results {
-                match res {
-                    Some(tree) => {
-                        for &n in &tree {
-                            state.occupy(n);
-                        }
-                        trees[net as usize] = tree;
+            for r in replicas.iter_mut().take(workers) {
+                r.clone_from(&state);
+            }
+            for c in &class {
+                match c {
+                    Some(r) => {
+                        interior_routes += 1;
+                        region_occupancy[*r] += 1;
                     }
-                    None => deferred.push(net),
+                    None => boundary_routes += 1,
+                }
+            }
+            deferred = route_partitioned(
+                graph,
+                &mut state,
+                &opts,
+                pres_fac,
+                &dirty,
+                &order,
+                &class,
+                &eff,
+                &bboxes,
+                &regions,
+                &srcs,
+                &sinks,
+                &mut trees,
+                &mut replicas,
+                &mut scratches,
+                workers,
+            );
+        } else {
+            for wave in &waves {
+                // The write footprint of a member includes the tree it is
+                // about to rip — capture old trees before the rip-up.
+                let old_writes: Vec<Vec<u32>> = if auditor.is_some() {
+                    wave.iter().map(|&pos| trees[dirty[pos] as usize].clone()).collect()
+                } else {
+                    Vec::new()
+                };
+                // Rip up this wave's nets only, right before rerouting them —
+                // later waves keep occupying their old wires so the snapshot
+                // the wave searches against stays faithful to the serial
+                // rip-right-before-reroute dynamics. Within the wave, a
+                // member's rip-up touches only its own (disjoint) box.
+                for &pos in wave {
+                    let i = dirty[pos] as usize;
+                    for &n in &trees[i] {
+                        state.release(n);
+                    }
+                    trees[i].clear();
+                }
+                let results = if let Some(aud) = auditor.as_deref_mut() {
+                    audited_wave(
+                        graph, &state, &opts, pres_fac, &dirty, wave, &bboxes, &srcs, &sinks,
+                        &mut scratches[0], &old_writes, iter, aud,
+                    )
+                } else {
+                    route_wave(
+                        graph, &state, &opts, pres_fac, &dirty, wave, &bboxes, &srcs, &sinks,
+                        &mut scratches,
+                    )
+                };
+                for (net, res) in results {
+                    match res {
+                        Some(tree) => {
+                            for &n in &tree {
+                                state.occupy(n);
+                            }
+                            trees[net as usize] = tree;
+                        }
+                        None => deferred.push(net),
+                    }
                 }
             }
         }
@@ -431,7 +579,12 @@ pub(crate) fn route_core(
         for &net in &deferred {
             loop {
                 if stage[net as usize] >= LAST_STAGE {
-                    return Err(Unroutable { overused: usize::MAX, iterations: iter + 1, ripups });
+                    return Err(Unroutable {
+                        overused: usize::MAX,
+                        iterations: iter + 1,
+                        ripups,
+                        worst_cut_overuse: 0,
+                    });
                 }
                 stage[net as usize] += 1;
                 let bb = bbox_of(net as usize, stage[net as usize]);
@@ -466,10 +619,30 @@ pub(crate) fn route_core(
             );
         }
         if overused == 0 {
-            return Ok(build_result(netlist, &state, trees, iter + 1, ripups));
+            return Ok(build_result(
+                netlist,
+                graph,
+                &state,
+                trees,
+                iter + 1,
+                ripups,
+                waves_total,
+                interior_routes,
+                boundary_routes,
+                region_occupancy,
+            ));
         }
         if iter + 1 == opts.max_iters {
-            return Err(Unroutable { overused, iterations: iter + 1, ripups });
+            // A cold-equivalent verdict (no frozen warm trees biasing the
+            // congestion) reports its worst-cut residual so the width
+            // search can advance `lo` past hopeless widths.
+            let cut = if warm_n == 0 { graph.cut_pressure(&state).max_overuse } else { 0 };
+            return Err(Unroutable {
+                overused,
+                iterations: iter + 1,
+                ripups,
+                worst_cut_overuse: cut,
+            });
         }
         // Stall detector: a hopelessly narrow channel shows as a large
         // overuse count that stops improving *meaningfully* (≥3 % per
@@ -494,7 +667,14 @@ pub(crate) fn route_core(
                         best_overused = usize::MAX;
                         stalled = 0;
                     } else {
-                        return Err(Unroutable { overused, iterations: iter + 1, ripups });
+                        // warm_n == 0 here, so the residual congestion is
+                        // honest — report the worst cut's overuse.
+                        return Err(Unroutable {
+                            overused,
+                            iterations: iter + 1,
+                            ripups,
+                            worst_cut_overuse: graph.cut_pressure(&state).max_overuse,
+                        });
                     }
                 }
             } else if stalled >= 3 && warm_n > 0 {
@@ -608,12 +788,251 @@ fn audited_wave(
     out
 }
 
+/// Executes one iteration's flattened wave order with spatial partition
+/// ownership. Interior tasks stream on worker threads against per-worker
+/// occupancy replicas; boundary tasks run on the coordinator (this
+/// thread) in rank order, each broadcasting its occupancy delta to the
+/// workers whose spans it touches. The master state/trees end up exactly
+/// as the serial rank-order execution leaves them. Returns the nets that
+/// failed inside their box, in rank order, for the caller's escalation
+/// pass.
+#[allow(clippy::too_many_arguments)]
+fn route_partitioned(
+    graph: &RouteGraph,
+    state: &mut NodeState,
+    opts: &RouteOptions,
+    pres_fac: f64,
+    dirty: &[u32],
+    order: &[usize],
+    class: &[Option<usize>],
+    eff: &[BBox],
+    bboxes: &[BBox],
+    regions: &[(f32, f32)],
+    srcs: &[Vec<u32>],
+    sinks: &[Vec<u32>],
+    trees: &mut [Vec<u32>],
+    replicas: &mut [NodeState],
+    scratches: &mut [Scratch],
+    workers: usize,
+) -> Vec<u32> {
+    let k = regions.len();
+    let worker_of = |r: usize| r * workers / k;
+    // Contiguous x-span each worker owns (union of its regions).
+    let mut spans: Vec<(f32, f32)> = vec![(f32::INFINITY, f32::NEG_INFINITY); workers];
+    for (r, &(lo, hi)) in regions.iter().enumerate() {
+        let w = worker_of(r);
+        spans[w].0 = spans[w].0.min(lo);
+        spans[w].1 = spans[w].1.max(hi);
+    }
+
+    struct WTask {
+        rank: usize,
+        net: u32,
+        search: BBox,
+        old: Vec<u32>,
+    }
+    struct BTask {
+        rank: usize,
+        net: u32,
+        search: BBox,
+        overlap: Vec<usize>,
+    }
+    let mut wtasks: Vec<Vec<WTask>> = (0..workers).map(|_| Vec::new()).collect();
+    // Boundary ranks each worker must sync on before advancing past them.
+    let mut wbarriers: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut btasks: Vec<BTask> = Vec::new();
+    for (rank, &pos) in order.iter().enumerate() {
+        let net = dirty[pos];
+        match class[pos] {
+            Some(r) => wtasks[worker_of(r)].push(WTask {
+                rank,
+                net,
+                search: bboxes[pos],
+                old: trees[net as usize].clone(),
+            }),
+            None => {
+                let bb = eff[pos];
+                let overlap: Vec<usize> = (0..workers)
+                    .filter(|&w| bb.x0 <= spans[w].1 && spans[w].0 <= bb.x1)
+                    .collect();
+                for &w in &overlap {
+                    wbarriers[w].push(rank);
+                }
+                btasks.push(BTask { rank, net, search: bboxes[pos], overlap });
+            }
+        }
+    }
+    let total_interior: usize = wtasks.iter().map(|v| v.len()).sum();
+
+    let n_ranks = order.len();
+    let mut done = vec![false; n_ranks];
+    let mut frontier = 0usize;
+    let mut applied = 0usize;
+    let mut deferred: Vec<(usize, u32)> = Vec::new();
+
+    let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, u32, Option<Vec<u32>>)>();
+    let mut delta_txs = Vec::with_capacity(workers);
+    let mut delta_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = std::sync::mpsc::channel::<(Vec<u32>, Vec<u32>)>();
+        delta_txs.push(tx);
+        delta_rxs.push(rx);
+    }
+
+    let (head, wscrs) = scratches.split_at_mut(1);
+    let cscr = &mut head[0];
+
+    std::thread::scope(|scope| {
+        for (((tasks, barriers), delta_rx), (replica, scratch)) in wtasks
+            .into_iter()
+            .zip(wbarriers)
+            .zip(delta_rxs)
+            .zip(replicas.iter_mut().zip(wscrs.iter_mut()))
+        {
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                let mut bidx = 0usize;
+                for t in tasks {
+                    // Apply every boundary delta ranked before this task:
+                    // in the canonical order those boundary nets ripped
+                    // and rerouted first, and their boxes may touch ours.
+                    while bidx < barriers.len() && barriers[bidx] < t.rank {
+                        let (old, new) = delta_rx.recv().expect("coordinator hung up");
+                        for &n in &old {
+                            replica.release(n);
+                        }
+                        for &n in &new {
+                            replica.occupy(n);
+                        }
+                        bidx += 1;
+                    }
+                    for &n in &t.old {
+                        replica.release(n);
+                    }
+                    let tree = route_net(
+                        graph,
+                        replica,
+                        opts,
+                        pres_fac,
+                        &srcs[t.net as usize],
+                        &sinks[t.net as usize],
+                        t.search,
+                        scratch,
+                    );
+                    if let Some(tr) = &tree {
+                        for &n in tr {
+                            replica.occupy(n);
+                        }
+                    }
+                    if res_tx.send((t.rank, t.net, tree)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+
+        // Coordinator: walk the boundary tasks in rank order; before each,
+        // drain interior results until every earlier rank has been applied
+        // to the master state. Results from non-overlapping workers may be
+        // applied "early" (their ranks exceed the boundary's), which is
+        // safe: the barrier construction guarantees any early result came
+        // from a worker whose span — hence the result's entire footprint —
+        // is disjoint from this boundary net's box.
+        let apply = |state: &mut NodeState,
+                         trees: &mut [Vec<u32>],
+                         deferred: &mut Vec<(usize, u32)>,
+                         done: &mut [bool],
+                         rank: usize,
+                         net: u32,
+                         tree: Option<Vec<u32>>| {
+            for &n in &trees[net as usize] {
+                state.release(n);
+            }
+            match tree {
+                Some(t) => {
+                    for &n in &t {
+                        state.occupy(n);
+                    }
+                    trees[net as usize] = t;
+                }
+                None => {
+                    trees[net as usize] = Vec::new();
+                    deferred.push((rank, net));
+                }
+            }
+            done[rank] = true;
+        };
+        for b in &btasks {
+            while frontier < b.rank {
+                if done[frontier] {
+                    frontier += 1;
+                    continue;
+                }
+                let (rank, net, tree) = res_rx.recv().expect("router worker hung up");
+                apply(state, trees, &mut deferred, &mut done, rank, net, tree);
+                applied += 1;
+            }
+            let old = std::mem::take(&mut trees[b.net as usize]);
+            for &n in &old {
+                state.release(n);
+            }
+            let tree = route_net(
+                graph,
+                state,
+                opts,
+                pres_fac,
+                &srcs[b.net as usize],
+                &sinks[b.net as usize],
+                b.search,
+                cscr,
+            );
+            let new = match tree {
+                Some(t) => {
+                    for &n in &t {
+                        state.occupy(n);
+                    }
+                    trees[b.net as usize] = t.clone();
+                    t
+                }
+                None => {
+                    deferred.push((b.rank, b.net));
+                    Vec::new()
+                }
+            };
+            for &w in &b.overlap {
+                // A worker with no tasks past this rank has already
+                // exited; the unreceived delta is irrelevant to it.
+                let _ = delta_txs[w].send((old.clone(), new.clone()));
+            }
+            done[b.rank] = true;
+            while frontier < n_ranks && done[frontier] {
+                frontier += 1;
+            }
+        }
+        while applied < total_interior {
+            let (rank, net, tree) = res_rx.recv().expect("router worker hung up");
+            apply(state, trees, &mut deferred, &mut done, rank, net, tree);
+            applied += 1;
+        }
+    });
+
+    deferred.sort_unstable_by_key(|&(rank, _)| rank);
+    deferred.into_iter().map(|(_, net)| net).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
 fn build_result(
     netlist: &ParNetlist,
+    graph: &RouteGraph,
     state: &NodeState,
     trees: Vec<Vec<u32>>,
     iterations: usize,
     ripups: usize,
+    waves: usize,
+    interior_routes: usize,
+    boundary_routes: usize,
+    partition_occupancy: Vec<usize>,
 ) -> RouteResult {
     let mut wl = 0usize;
     let mut twl = 0usize;
@@ -635,5 +1054,10 @@ fn build_result(
         tcon_switches,
         iterations,
         ripups,
+        waves,
+        interior_routes,
+        boundary_routes,
+        partition_occupancy,
+        worst_cut_used: graph.cut_pressure(state).max_used,
     }
 }

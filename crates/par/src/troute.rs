@@ -76,6 +76,19 @@ pub struct RouteResult {
     /// Net (re)route operations across all iterations — the router-effort
     /// figure the benches report next to wall time.
     pub ripups: usize,
+    /// Disjoint-bbox waves scheduled across all iterations.
+    pub waves: usize,
+    /// Reroutes executed inside a partition worker's owned region.
+    pub interior_routes: usize,
+    /// Reroutes of boundary-crossing nets, committed in net order on the
+    /// coordinator thread.
+    pub boundary_routes: usize,
+    /// Interior reroutes per column region (empty when the run never took
+    /// the partition path).
+    pub partition_occupancy: Vec<usize>,
+    /// Most separator wires in use across any fabric cut in the final
+    /// state — feeds the width search's success-side `lo` advance.
+    pub worst_cut_used: usize,
 }
 
 /// Routing failure: congestion never resolved.
@@ -88,6 +101,11 @@ pub struct Unroutable {
     pub iterations: usize,
     /// Net (re)route operations spent before giving up.
     pub ripups: usize,
+    /// Largest summed residual overuse across any single fabric cut when
+    /// the verdict was cold-equivalent (no frozen warm trees left); `0`
+    /// otherwise. Dividing by the cut separator width gives the width
+    /// search a per-failure `lo` advance sharper than `w + 1`.
+    pub worst_cut_overuse: usize,
 }
 
 /// Routes a placed netlist on the given routing-resource graph: the
@@ -98,7 +116,7 @@ pub fn route(
     graph: &RouteGraph,
     opts: RouteOptions,
 ) -> Result<RouteResult, Unroutable> {
-    route_core(netlist, placement, graph, opts, Knobs::default(), None, None)
+    route_core(netlist, placement, graph, opts, Knobs::default(), None, None, None)
 }
 
 /// Terminal sets of every net, lifted into RRG node space — the input the

@@ -16,7 +16,7 @@ use crate::engine::EngineOptions;
 use crate::incr::{route_core, Knobs};
 use crate::netlist::ParNetlist;
 use crate::tplace::Placement;
-use crate::troute::RouteResult;
+use crate::troute::{RouteResult, Unroutable};
 use fabric::arch::FabricArch;
 use fabric::rrg::RouteGraph;
 use logic::fxhash::FxHashSet;
@@ -89,6 +89,13 @@ pub struct WidthSearch {
     pub probes: Vec<WidthProbe>,
     /// The placement-derived lower bound the search started from.
     pub lower_bound: usize,
+    /// Strongest overuse-sharpened claim the search made: the highest
+    /// `w + ⌈worst-cut overuse / separator⌉` advance derived from any
+    /// cold-equivalent *failed* probe (`0` when the rule never fired).
+    /// Heuristic, not proof — the certify loop repairs any overshoot —
+    /// but `tests/determinism.rs` property-checks it never exceeds the
+    /// cold `linear_scan` minimum in practice.
+    pub overuse_lo: usize,
     /// Proof-grade backing for "`min_width` is minimal": the warm binary
     /// search takes de-biased warm verdicts at face value, so the final
     /// `W−1` failure is re-probed **cold** after the search concludes
@@ -241,7 +248,7 @@ fn probe(
     seed: Option<Vec<Vec<u32>>>,
     confirm: bool,
     probes: &mut Vec<WidthProbe>,
-) -> Option<RouteResult> {
+) -> Result<RouteResult, Unroutable> {
     let warm_nets = seed
         .as_ref()
         .map(|s| s.iter().filter(|t| !t.is_empty()).count())
@@ -255,7 +262,7 @@ fn probe(
         );
     }
     let t0 = std::time::Instant::now();
-    let r = route_core(netlist, placement, graph, opts.route, knobs, seed, None);
+    let r = route_core(netlist, placement, graph, opts.route, knobs, seed, None, None);
     let seconds = t0.elapsed().as_secs_f64();
     let (success, iterations, ripups) = match &r {
         Ok(res) => (true, res.iterations, res.ripups),
@@ -280,7 +287,7 @@ fn probe(
         warm_nets,
         confirm,
     });
-    r.ok()
+    r
 }
 
 /// Translates `trees` (routed on `old`) into `new`'s id space. A net whose
@@ -334,6 +341,14 @@ fn translate_trees(
                 reach.contains(&new.ipin(placement.site_of[b as usize], p as usize))
             });
             if ok {
+                // Keep only the source-reachable subset. Switchbox adjacency
+                // depends on the channel width, so a branch that was connected
+                // in `old` can come apart in `new` even when every node
+                // translates; such stranded nodes never accrue overuse, so the
+                // router would carry them untouched into the final tree and
+                // fail the route audit. The BFS above already computed the
+                // reachable set, and it covers every sink.
+                t.retain(|n| reach.contains(n));
                 t
             } else {
                 Vec::new()
@@ -359,7 +374,7 @@ pub(crate) fn search(
         // itself.
         for w in opts.min_width..=opts.max_width {
             let graph = RouteGraph::build(arch, w);
-            if let Some(r) = probe(netlist, placement, &graph, opts, knobs, None, false, &mut probes)
+            if let Ok(r) = probe(netlist, placement, &graph, opts, knobs, None, false, &mut probes)
             {
                 let certificate = if w > opts.min_width {
                     WidthCertificate::ColdFailure
@@ -371,6 +386,7 @@ pub(crate) fn search(
                     result: r,
                     probes,
                     lower_bound: opts.min_width,
+                    overuse_lo: 0,
                     certificate,
                 });
             }
@@ -384,6 +400,38 @@ pub(crate) fn search(
         eprintln!("  width lower bound {lower_bound}, congestion estimate {estimate}");
     }
 
+    // Overuse-sharpened `lo` advances. A *failed* cold-equivalent probe at
+    // `w` reports its worst cut's residual overuse; spreading that excess
+    // over the cut's `2s+1`-wire separator says widths below
+    // `w + ⌈overuse/sep⌉` are hopeless too, so the search skips them
+    // instead of grinding a near-cold probe at each. A *successful* probe
+    // reports its worst cut's used-wire count; 90 % of `used/sep` (damped
+    // — detours inflate usage) floors how low the binary phase bothers
+    // descending. Neither rule is proof: the certify loop still probes the
+    // final `W−1` cold and adopts anything narrower that succeeds, so a
+    // too-aggressive advance costs extra certify probes, never a wrong
+    // minimum. Both rules therefore only fire when the certify loop is
+    // armed to repair them; with `certify` off the search keeps the
+    // legacy conservative advances.
+    let sharpen = opts.certify;
+    let sep = 2 * arch.size + 1;
+    let mut overuse_lo = 0usize;
+    let fail_advance = |w: usize, e: &Unroutable, lo: &mut usize, overuse_lo: &mut usize| {
+        let adv = if sharpen { e.worst_cut_overuse.div_ceil(sep) } else { 0 };
+        if adv > 1 {
+            *overuse_lo = (*overuse_lo).max(w + adv);
+            if crate::incr::verbose() {
+                eprintln!(
+                    "  overuse advance: width {} fails with worst-cut overuse {} -> lo {}",
+                    w,
+                    e.worst_cut_overuse,
+                    w + adv
+                );
+            }
+        }
+        *lo = (*lo).max(w + adv.max(1));
+    };
+
     // Doubling phase: find a routable upper end. Probes below the sound
     // bound are pointless; the congestion estimate picks the start so the
     // hopeless cold widths are (usually) never ground through. The
@@ -395,12 +443,12 @@ pub(crate) fn search(
     loop {
         let graph = RouteGraph::build(arch, hi);
         match probe(netlist, placement, &graph, opts, knobs, None, false, &mut probes) {
-            Some(r) => {
+            Ok(r) => {
                 (best_w, best_r, best_g) = (hi, r, graph);
                 break;
             }
-            None => {
-                lo = hi + 1;
+            Err(e) => {
+                fail_advance(hi, &e, &mut lo, &mut overuse_lo);
                 if hi >= opts.max_width {
                     return None;
                 }
@@ -410,18 +458,26 @@ pub(crate) fn search(
     }
 
     // Binary search in (lo, best_w); each probe seeds from the nearest
-    // successful width's trees.
-    while lo < best_w {
+    // successful width's trees, and each verdict sharpens `lo` from its
+    // residual cut pressure.
+    loop {
+        if sharpen {
+            let floor_est = best_r.worst_cut_used * 9 / 10 / sep;
+            lo = lo.max(floor_est.min(best_w));
+        }
+        if lo >= best_w {
+            break;
+        }
         let mid = (lo + best_w) / 2;
         let graph = RouteGraph::build(arch, mid);
         let seed = opts
             .warm_start
             .then(|| translate_trees(netlist, placement, &best_g, &graph, &best_r.trees));
         match probe(netlist, placement, &graph, opts, knobs, seed, false, &mut probes) {
-            Some(r) => {
+            Ok(r) => {
                 (best_w, best_r, best_g) = (mid, r, graph);
             }
-            None => lo = mid + 1,
+            Err(e) => fail_advance(mid, &e, &mut lo, &mut overuse_lo),
         }
     }
 
@@ -450,16 +506,23 @@ pub(crate) fn search(
             }
             let graph = RouteGraph::build(arch, fail_w);
             match probe(netlist, placement, &graph, opts, knobs, None, true, &mut probes) {
-                None => {
+                Err(_) => {
                     certificate = WidthCertificate::ColdFailure;
                     break;
                 }
-                Some(r) => {
+                Ok(r) => {
                     best_w = fail_w;
                     best_r = r;
                 }
             }
         }
     }
-    Some(WidthSearch { min_width: best_w, result: best_r, probes, lower_bound, certificate })
+    Some(WidthSearch {
+        min_width: best_w,
+        result: best_r,
+        probes,
+        lower_bound,
+        overuse_lo,
+        certificate,
+    })
 }

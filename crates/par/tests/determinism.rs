@@ -169,6 +169,115 @@ fn certified_minimum_matches_the_reported_minimum() {
     }
 }
 
+/// Tentpole guarantee of the partition path: for any partition count and
+/// any thread count, placements, minima, and routing trees are pinned
+/// bit-identical — partitions and threads only change *who executes* a
+/// task in the canonical schedule, never the schedule itself.
+#[test]
+fn partition_and_thread_matrix_is_bit_identical() {
+    // 65 nets: clears the partition worklist gate, so multi-partition
+    // multi-thread combos genuinely take the partition executor.
+    let nl = mul_netlist(5, false);
+    let mut baseline = None;
+    for partitions in [1usize, 2, 4] {
+        for threads in [1usize, 2, 8] {
+            let rep = ParEngine::new(EngineOptions { partitions, threads, ..Default::default() })
+                .run(&nl)
+                .expect("routable");
+            let graph = fabric::RouteGraph::build(rep.arch, rep.min_channel_width);
+            audit(&nl, &rep.placement, &graph, &rep.result).expect("audit clean");
+            match &baseline {
+                None => baseline = Some(rep),
+                Some(b) => {
+                    assert_eq!(b.placement.site_of, rep.placement.site_of);
+                    assert_eq!(
+                        b.min_channel_width, rep.min_channel_width,
+                        "minimum width must not depend on partitions={partitions}/threads={threads}"
+                    );
+                    assert_eq!(
+                        b.result.trees, rep.result.trees,
+                        "routing trees must not depend on partitions={partitions}/threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The partition executor must actually run (not silently fall back to
+/// waves) on a worklist large enough to clear its gate, and its schedule
+/// must pass the partition-ownership verifier.
+#[test]
+fn partition_path_executes_and_audits_clean() {
+    let nl = mul_netlist(5, false);
+    let engine =
+        ParEngine::new(EngineOptions { partitions: 2, threads: 4, ..Default::default() });
+    let arch = fabric::FabricArch::sized_for(nl.logic_count(), nl.io_count());
+    let placement = engine.place(&nl, arch);
+    let width = par::channel_width_estimate(&nl, &placement, arch) + 4;
+    let graph = fabric::RouteGraph::build(arch, width);
+
+    // Serial reference from a partition-free engine, so the bit-identity
+    // comparison below crosses the executor boundary.
+    let plain = ParEngine::new(EngineOptions { partitions: 1, threads: 1, ..Default::default() })
+        .route(&nl, &placement, &graph)
+        .expect("routable");
+    let (partitioned, report) = engine.route_partition_audited(&nl, &placement, &graph);
+    let partitioned = partitioned.expect("routable on the partition path");
+    assert_eq!(plain.trees, partitioned.trees, "partition path must be bit-identical");
+    assert!(report.ok(), "partition schedule must verify: {}", report.summary());
+    if nl.nets.len() >= 48 {
+        assert!(report.checked > 0, "partition plans must have been recorded");
+        assert!(
+            partitioned.interior_routes + partitioned.boundary_routes > 0,
+            "partition executor never ran despite {} nets",
+            nl.nets.len()
+        );
+    }
+}
+
+// The overuse-sharpened `lo` advance is heuristic; this property pins it
+// to reality: whenever the rule fires, the width it claims hopeless never
+// exceeds the true minimum found by the cold `linear_scan` reference.
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(5))]
+    #[test]
+    fn overuse_lower_bound_never_exceeds_linear_scan_minimum(
+        bits in 3usize..5,
+        parameterized in proptest::any::<bool>(),
+        seed in 1u64..1000,
+    ) {
+        let nl = mul_netlist(bits, parameterized);
+        let arch = fabric::FabricArch::sized_for(nl.logic_count(), nl.io_count());
+        let engine = ParEngine::new(EngineOptions {
+            seeds: vec![seed],
+            min_width: 2,
+            ..Default::default()
+        });
+        let placement = engine.place(&nl, arch);
+        let sharpened = engine
+            .min_channel_width(&nl, &placement, arch)
+            .expect("sharpened search finds a width");
+        let reference = ParEngine::new(EngineOptions {
+            linear_scan: true,
+            warm_start: false,
+            min_width: 2,
+            ..Default::default()
+        })
+        .min_channel_width(&nl, &placement, arch)
+        .expect("linear scan finds a width");
+        // Warm probes may legalize a width the cold scan gives up on, so
+        // the tightest demonstrated-routable width is the min of both.
+        let routable = sharpened.min_width.min(reference.min_width);
+        proptest::prop_assert!(
+            sharpened.overuse_lo <= routable,
+            "overuse rule claimed widths below {} hopeless, but width {} routed",
+            sharpened.overuse_lo,
+            routable
+        );
+    }
+}
+
 #[test]
 fn warm_start_does_not_change_the_reported_minimum() {
     let nl = mul_netlist(5, true);

@@ -312,6 +312,13 @@ pub struct Tenant {
     key: ConfigKey,
     /// Accumulated accounting.
     pub stats: TenantStats,
+    /// Memoized structural signature for the sched verifier, derived once
+    /// at admission. Sound to reuse for the tenant's lifetime: every
+    /// mutating path either preserves `same_structure` (parameter swaps,
+    /// counters — the signature ignores coefficient *values*) or retires
+    /// this `Tenant` and admits a fresh one (structural resubmit), and
+    /// compaction moves bands without touching the compiled region shape.
+    sig: verify::sched::StructureSig,
 }
 
 impl Tenant {
@@ -346,6 +353,10 @@ pub struct Ledger {
     /// (`queued == queue_admitted + queue_dropped + queue_cancelled +`
     /// the current queue depth, always).
     pub queue_cancelled: usize,
+    /// Structural signatures derived at admission (the memo fills).
+    pub sig_derivations: usize,
+    /// Host time spent deriving those signatures.
+    pub sig_derive_time: Duration,
     /// Compaction events (each may relocate several bands).
     pub compactions: usize,
     /// Bands relocated across all compactions.
@@ -418,6 +429,10 @@ pub struct Runtime {
     /// (`(grid, row0)` → tenant): a shared band whose resident differs
     /// from the next run's first job pays a swap-in context switch.
     resident: BTreeMap<(usize, usize), TenantId>,
+    /// Snapshot tenant rows served from the memoized [`Tenant::sig`]
+    /// instead of a fresh `StructureSig` derivation (a `Cell` because
+    /// [`Runtime::snapshot`] takes `&self`).
+    sig_memo_hits: std::cell::Cell<usize>,
 }
 
 impl Runtime {
@@ -441,6 +456,7 @@ impl Runtime {
             queue: VecDeque::new(),
             queue_failures: Vec::new(),
             resident: BTreeMap::new(),
+            sig_memo_hits: std::cell::Cell::new(0),
         }
     }
 
@@ -608,6 +624,22 @@ impl Runtime {
         self.ledger.host_admit_time += admit_time;
         self.ledger.admission_port_time += config_port_time;
 
+        // Derive the verifier's structural signature once, here, instead
+        // of per snapshot: under `verify_on_admit` every mutating
+        // operation snapshots every live tenant, so an O(graph) signature
+        // per tenant per operation turns the audit quadratic. The ledger
+        // keeps the measured derivation cost so drivers can report the
+        // audit seconds the memo saves.
+        let t_sig = std::time::Instant::now();
+        let sig = verify::sched::StructureSig::of(
+            mapping.arch.rows,
+            mapping.arch.cols,
+            channel_capacity,
+            graph,
+        );
+        self.ledger.sig_derivations += 1;
+        self.ledger.sig_derive_time += t_sig.elapsed();
+
         // Admission writes the tenant's configuration into the region, so
         // it becomes the band's resident.
         self.resident.insert((lease.grid, lease.row0), id);
@@ -621,6 +653,7 @@ impl Runtime {
                 lease,
                 key,
                 stats: TenantStats::default(),
+                sig,
             },
         );
         Ok(Admitted {
@@ -965,6 +998,24 @@ impl Runtime {
         &self.ledger
     }
 
+    /// Snapshot tenant rows served from the memoized structural signature
+    /// (one per live tenant per [`Runtime::snapshot`]).
+    pub fn sig_memo_hits(&self) -> usize {
+        self.sig_memo_hits.get()
+    }
+
+    /// Estimated audit host-seconds the signature memo saved: every memo
+    /// hit would otherwise have paid one derivation, priced at the
+    /// measured mean cost of the derivations actually performed at
+    /// admission.
+    pub fn sig_seconds_saved(&self) -> f64 {
+        if self.ledger.sig_derivations == 0 {
+            return 0.0;
+        }
+        let mean = self.ledger.sig_derive_time.as_secs_f64() / self.ledger.sig_derivations as f64;
+        mean * self.sig_memo_hits.get() as f64
+    }
+
     /// Fraction of pool rows currently leased.
     pub fn utilization(&self) -> f64 {
         self.pool.utilization()
@@ -1017,7 +1068,24 @@ impl Runtime {
                     region: (t.mapping.arch.rows, t.mapping.arch.cols),
                     placed_nodes: t.mapping.place.len(),
                     key_id: t.key.fingerprint(),
-                    sig: StructureSig::of(t.mapping.arch.rows, t.mapping.arch.cols, cap, &t.graph),
+                    sig: {
+                        // Served from the admission-time memo; a fresh
+                        // derivation here would make every audited
+                        // operation O(tenants × graph).
+                        self.sig_memo_hits.set(self.sig_memo_hits.get() + 1);
+                        debug_assert_eq!(
+                            t.sig,
+                            StructureSig::of(
+                                t.mapping.arch.rows,
+                                t.mapping.arch.cols,
+                                cap,
+                                &t.graph
+                            ),
+                            "memoized StructureSig went stale for tenant {}",
+                            t.id
+                        );
+                        t.sig.clone()
+                    },
                 })
                 .collect(),
             queue: self.queue.iter().map(|p| p.tenant).collect(),

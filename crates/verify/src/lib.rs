@@ -40,10 +40,12 @@
 
 pub mod config;
 pub mod equiv;
+pub mod partition;
 pub mod routes;
 pub mod sched;
 pub mod waves;
 
+pub use partition::{PartitionPlan, PartitionTask};
 pub use routes::NetTerminals;
 pub use sched::SchedSnapshot;
 pub use waves::{WaveAuditor, WaveFootprint};
@@ -354,6 +356,36 @@ pub enum Violation {
         key_id: u64,
     },
 
+    // --- partition schedule ---
+    /// The partition plan's column regions do not tile the fabric span
+    /// (gap, overlap, disorder, or a degenerate region).
+    PartitionTilingBroken {
+        /// PathFinder iteration of the offending plan.
+        iteration: usize,
+        /// Index of the first region of the broken pair.
+        region: usize,
+    },
+    /// A region-interior task's effective box escapes the region its
+    /// worker owns — two workers could touch the same occupancy entry.
+    PartitionOwnershipLeak {
+        /// PathFinder iteration of the offending plan.
+        iteration: usize,
+        /// The leaking net.
+        net: u32,
+        /// The region it claimed.
+        region: usize,
+    },
+    /// Task ranks are not the exact sequence `0..n`, or a net is
+    /// scheduled twice in one iteration.
+    PartitionRankDisorder {
+        /// PathFinder iteration of the offending plan.
+        iteration: usize,
+        /// The offending net.
+        net: u32,
+        /// The rank it carried.
+        rank: usize,
+    },
+
     // --- equivalence ---
     /// The mapped design is not equivalent to its source AIG.
     NotEquivalent {
@@ -405,6 +437,9 @@ impl Violation {
             Violation::CacheKeyCollision { .. } => "cache-key-collision",
             Violation::CacheKeySplit { .. } => "cache-key-split",
             Violation::CacheEntryMismatch { .. } => "cache-entry-mismatch",
+            Violation::PartitionTilingBroken { .. } => "partition-tiling-broken",
+            Violation::PartitionOwnershipLeak { .. } => "partition-ownership-leak",
+            Violation::PartitionRankDisorder { .. } => "partition-rank-disorder",
             Violation::NotEquivalent { .. } => "not-equivalent",
         }
     }
@@ -539,6 +574,15 @@ impl fmt::Display for Violation {
             Violation::CacheEntryMismatch { key_id } => {
                 write!(f, "cache entry {key_id:#x}: mapping disagrees with its key's region")
             }
+            Violation::PartitionTilingBroken { iteration, region } => {
+                write!(f, "iteration {iteration}: regions {region}/{} do not tile", region + 1)
+            }
+            Violation::PartitionOwnershipLeak { iteration, net, region } => {
+                write!(f, "iteration {iteration}: net {net} escapes its owned region {region}")
+            }
+            Violation::PartitionRankDisorder { iteration, net, rank } => {
+                write!(f, "iteration {iteration}: net {net} breaks commit order at rank {rank}")
+            }
             Violation::NotEquivalent { detail } => {
                 write!(f, "mapping not equivalent: {detail}")
             }
@@ -666,6 +710,20 @@ impl Verifier {
         VerifyReport {
             pass: "wave-schedule",
             checked: members.len(),
+            violations,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Pass 2b — partition-schedule checker over the router's recorded
+    /// plans (region tiling, worker ownership, commit rank order).
+    /// `checked` counts scheduled tasks across all plans.
+    pub fn verify_partition(&self, plans: &[partition::PartitionPlan]) -> VerifyReport {
+        let t0 = std::time::Instant::now();
+        let violations = partition::check_plans(plans);
+        VerifyReport {
+            pass: "partition",
+            checked: plans.iter().map(|p| p.tasks.len()).sum(),
             violations,
             seconds: t0.elapsed().as_secs_f64(),
         }

@@ -1,0 +1,158 @@
+//! Pass 2b — partition-schedule checker.
+//!
+//! The router's partition path claims three static invariants per
+//! iteration, and this pass re-proves them from the recorded plan instead
+//! of trusting the scheduler:
+//!
+//! 1. **Tiling** — the column regions are ordered, contiguous (each
+//!    region starts where the previous one ends), and non-degenerate, so
+//!    every x-coordinate belongs to exactly one region.
+//! 2. **Ownership** — every region-interior task's effective box (reads,
+//!    rip-up, and commit footprint) lies inside its claimed region, so
+//!    two workers can never touch the same `NodeState` entry.
+//! 3. **Order** — task ranks are exactly `0..n` in sequence and no net
+//!    appears twice, so the ordered boundary commit reproduces the
+//!    canonical serial schedule.
+
+use crate::Violation;
+
+/// One scheduled reroute inside a partition plan, in commit rank order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionTask {
+    /// The net being rerouted.
+    pub net: u32,
+    /// Position in the iteration's canonical (flattened wave) order.
+    pub rank: usize,
+    /// Owning column region for an interior task; `None` marks a
+    /// boundary-crossing net committed in order on the coordinator.
+    pub region: Option<usize>,
+    /// Effective box x-extent (search box ∪ ripped tree).
+    pub x0: f32,
+    /// See `x0`.
+    pub x1: f32,
+}
+
+/// One partitioned iteration's schedule, as recorded by the router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    /// PathFinder iteration the plan belongs to.
+    pub iteration: usize,
+    /// Column regions as half-open x-intervals `[lo, hi)` (outer edges
+    /// padded past the fabric span).
+    pub regions: Vec<(f32, f32)>,
+    /// Safety margin the classifier applied around region borders.
+    pub halo: f32,
+    /// Whether the iteration actually ran on the partition executor
+    /// (small worklists fall back to waves; the invariants must hold
+    /// either way).
+    pub executed: bool,
+    /// Tasks in commit rank order.
+    pub tasks: Vec<PartitionTask>,
+}
+
+/// Checks every plan; see the module docs for the proven invariants.
+pub fn check_plans(plans: &[PartitionPlan]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for plan in plans {
+        // 1. Tiling.
+        for (i, w) in plan.regions.windows(2).enumerate() {
+            if w[0].1 != w[1].0 || w[0].0 >= w[0].1 {
+                out.push(Violation::PartitionTilingBroken {
+                    iteration: plan.iteration,
+                    region: i,
+                });
+            }
+        }
+        if let Some(&(lo, hi)) = plan.regions.last() {
+            if lo >= hi {
+                out.push(Violation::PartitionTilingBroken {
+                    iteration: plan.iteration,
+                    region: plan.regions.len() - 1,
+                });
+            }
+        }
+        // 2 + 3. Ownership and order.
+        let mut seen = std::collections::HashSet::new();
+        for (i, t) in plan.tasks.iter().enumerate() {
+            if t.rank != i || !seen.insert(t.net) {
+                out.push(Violation::PartitionRankDisorder {
+                    iteration: plan.iteration,
+                    net: t.net,
+                    rank: t.rank,
+                });
+            }
+            if let Some(r) = t.region {
+                let leak = match plan.regions.get(r) {
+                    Some(&(lo, hi)) => t.x0 < lo || t.x1 > hi,
+                    None => true,
+                };
+                if leak {
+                    out.push(Violation::PartitionOwnershipLeak {
+                        iteration: plan.iteration,
+                        net: t.net,
+                        region: r,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_plan() -> PartitionPlan {
+        PartitionPlan {
+            iteration: 0,
+            regions: vec![(-1.0, 4.0), (4.0, 9.0)],
+            halo: 1.0,
+            executed: true,
+            tasks: vec![
+                PartitionTask { net: 7, rank: 0, region: Some(0), x0: 0.0, x1: 3.0 },
+                PartitionTask { net: 2, rank: 1, region: None, x0: 2.0, x1: 6.0 },
+                PartitionTask { net: 5, rank: 2, region: Some(1), x0: 5.0, x1: 8.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_plan_passes() {
+        assert!(check_plans(&[clean_plan()]).is_empty());
+    }
+
+    #[test]
+    fn gap_between_regions_is_rejected() {
+        let mut p = clean_plan();
+        p.regions[1].0 = 4.5;
+        let v = check_plans(&[p]);
+        assert!(v.iter().any(|v| matches!(v, Violation::PartitionTilingBroken { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn interior_task_escaping_its_region_is_rejected() {
+        let mut p = clean_plan();
+        p.tasks[0].x1 = 4.5; // leaks into region 1
+        let v = check_plans(&[p]);
+        assert!(
+            v.iter().any(|v| matches!(v, Violation::PartitionOwnershipLeak { net: 7, .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_net_and_broken_ranks_are_rejected() {
+        let mut p = clean_plan();
+        p.tasks[2].net = 7;
+        let mut q = clean_plan();
+        q.tasks[1].rank = 5;
+        for plan in [p, q] {
+            let v = check_plans(&[plan]);
+            assert!(
+                v.iter().any(|v| matches!(v, Violation::PartitionRankDisorder { .. })),
+                "{v:?}"
+            );
+        }
+    }
+}

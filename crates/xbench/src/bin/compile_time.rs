@@ -11,12 +11,18 @@
 //!   width (the `par-engine`; the full min-width search would only widen
 //!   the gap).
 //!
-//! Usage: `cargo run -p xbench --release --bin compile_time [--smoke] [--check]`
+//! Usage: `cargo run -p xbench --release --bin compile_time [--smoke] [--check]
+//!         [--partitions <k>] [--threads-sweep 1,2,4,8 [--json <path>]]`
 //! (`--smoke` runs the gate-level flow on a reduced (5,10) PE — the gap
 //! shrinks with the netlist but stays orders of magnitude. `--check`
 //! turns the run into a regression gate: it exits non-zero when the
 //! gate-level route exceeds a generous wall-time threshold, so CI fails
-//! fast if the router hot path regresses.)
+//! fast if the router hot path regresses. `--partitions` sets the
+//! spatial-partition count of the router (0 = auto, 1 = waves only).
+//! `--threads-sweep` re-routes the gate-level netlist at each listed
+//! thread count, asserts the trees stay bit-identical, and writes the
+//! scaling record — route seconds, waves per iteration, partition
+//! occupancy — to `--json`, default `out/BENCH_route_scaling.json`.)
 
 use fabric::RouteGraph;
 use par::{EngineOptions, ParEngine};
@@ -33,7 +39,25 @@ const CHECK_ROUTE_SECONDS: f64 = 10.0;
 
 fn main() {
     let smoke = xbench::smoke_mode();
-    let check = std::env::args().any(|a| a == "--check");
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let flag_val = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{name} needs a value")).clone())
+    };
+    let partitions: usize = flag_val("--partitions")
+        .map(|v| v.parse().expect("--partitions takes an integer"))
+        .unwrap_or(0);
+    let sweep: Vec<usize> = flag_val("--threads-sweep")
+        .map(|v| {
+            v.split(',')
+                .map(|t| t.trim().parse().expect("--threads-sweep takes e.g. 1,2,4,8"))
+                .collect()
+        })
+        .unwrap_or_default();
+    let json_path =
+        flag_val("--json").unwrap_or_else(|| "out/BENCH_route_scaling.json".to_string());
     let gate_fmt = if smoke { FpFormat::new(5, 10) } else { FpFormat::PAPER };
     let coeffs = [0.0625, 0.25, 0.375, 0.25, 0.0625]; // 5-tap binomial
     let arch = VcgraArch::paper_4x4();
@@ -60,7 +84,7 @@ fn main() {
     let t3 = std::time::Instant::now();
     let netlist = par::extract(&design);
     let fabric = fabric::FabricArch::sized_for(netlist.logic_count(), netlist.io_count());
-    let engine = ParEngine::new(EngineOptions::default());
+    let engine = ParEngine::new(EngineOptions { partitions, ..Default::default() });
     let placement = engine.place(&netlist, fabric);
     let t_place = t3.elapsed();
     // Route once at a generous width — the compile-time claim is about
@@ -113,6 +137,56 @@ fn main() {
          {} of them plus interconnect, widening the gap accordingly)",
         app.pe_demand()
     );
+
+    // --- optional routing-scaling sweep over thread counts ---
+    if !sweep.is_empty() {
+        let graph = RouteGraph::build(fabric, width);
+        println!("\nroute scaling sweep (width {width}, partitions {partitions}):");
+        let mut rows = Vec::new();
+        for &threads in &sweep {
+            let eng =
+                ParEngine::new(EngineOptions { threads, partitions, ..Default::default() });
+            let t = std::time::Instant::now();
+            let r = eng.route(&netlist, &placement, &graph).expect("routable in sweep");
+            let secs = t.elapsed().as_secs_f64();
+            assert_eq!(
+                r.trees, routed.trees,
+                "thread count {threads} changed the routing — determinism broken"
+            );
+            let waves_per_iter = r.waves as f64 / r.iterations.max(1) as f64;
+            println!(
+                "  threads {threads:>2}: {secs:>7.3}s  {} iters  {:.1} waves/iter  \
+                 {} interior + {} boundary  occupancy {:?}",
+                r.iterations, waves_per_iter, r.interior_routes, r.boundary_routes,
+                r.partition_occupancy
+            );
+            let occupancy = r
+                .partition_occupancy
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            rows.push(format!(
+                "    {{\"threads\": {threads}, \"route_seconds\": {secs:.6}, \
+                 \"iterations\": {}, \"waves\": {}, \"waves_per_iter\": {waves_per_iter:.3}, \
+                 \"interior_routes\": {}, \"boundary_routes\": {}, \
+                 \"partition_occupancy\": [{occupancy}]}}",
+                r.iterations, r.waves, r.interior_routes, r.boundary_routes
+            ));
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"route_scaling\",\n  \"smoke\": {smoke},\n  \
+             \"width\": {width},\n  \"partitions\": {partitions},\n  \
+             \"nets\": {},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+            netlist.nets.len(),
+            rows.join(",\n")
+        );
+        if let Some(dir) = std::path::Path::new(&json_path).parent() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+        std::fs::write(&json_path, json).expect("write scaling json");
+        println!("wrote {json_path}");
+    }
 
     if check {
         let secs = t_route.as_secs_f64();

@@ -31,7 +31,7 @@
 //! any scheduler-wave assertion fires.
 //!
 //! Usage: `cargo run -p xbench --release --bin serve [--smoke] [--queue]
-//! [--compact] [--check] [--verify]`
+//! [--compact] [--check] [--verify] [--json <path>]`
 //!
 //! `--queue` / `--compact` select just that scheduler wave; `--check`
 //! (CI's queue-regression gate) runs everything regardless of selection.
@@ -39,7 +39,9 @@
 //! operation re-proves the scheduler invariants before returning) and a
 //! final `vcgra-verify` sched pass per wave. `--check` implies the final
 //! sched pass, so queue/ledger reconciliation drift *fails* the gate
-//! instead of merely printing skewed counters.
+//! instead of merely printing skewed counters. `--json` writes the soak's
+//! machine-readable record — ledger counters plus the audit seconds the
+//! admission-time `StructureSig` memo saved across snapshots.
 
 use runtime::kernels;
 use runtime::{Admission, Runtime, RuntimeConfig, StreamRequest, TenantId};
@@ -95,7 +97,7 @@ fn assert_bit_exact(rt: &mut Runtime, tenant: TenantId, items: usize, salt: u64)
 }
 
 /// Phases 1–4 + ledger: the original mixed-tenant soak.
-fn soak(smoke: bool, verify_on_admit: bool, audit: bool) {
+fn soak(smoke: bool, verify_on_admit: bool, audit: bool, json: Option<&str>) {
     let items_per_tenant = if smoke { 200 } else { 2000 };
     let mut lib = kernels::library(F);
     if !smoke {
@@ -304,6 +306,37 @@ fn soak(smoke: bool, verify_on_admit: bool, audit: bool) {
     );
     if audit {
         sched_verify(&rt, "post-soak scheduler state");
+    }
+    println!(
+        "  sig memo: {} derivations ({}) at admission, {} snapshot hits -> {:.3} ms audit saved",
+        led.sig_derivations,
+        us(led.sig_derive_time),
+        rt.sig_memo_hits(),
+        rt.sig_seconds_saved() * 1e3,
+    );
+    if let Some(path) = json {
+        let json = format!(
+            "{{\n  \"bench\": \"serve_soak\",\n  \"smoke\": {smoke},\n  \
+             \"verify_on_admit\": {verify_on_admit},\n  \
+             \"cold_compiles\": {},\n  \"warm_admissions\": {},\n  \
+             \"warm_speedup\": {speedup:.1},\n  \"cache_hit_rate\": {:.3},\n  \
+             \"swaps\": {},\n  \"sig_derivations\": {},\n  \
+             \"sig_derive_seconds\": {:.6},\n  \"sig_memo_hits\": {},\n  \
+             \"sig_audit_seconds_saved\": {:.6}\n}}\n",
+            led.cold_compiles,
+            led.warm_admissions,
+            cache.hit_rate(),
+            led.swaps,
+            led.sig_derivations,
+            led.sig_derive_time.as_secs_f64(),
+            rt.sig_memo_hits(),
+            rt.sig_seconds_saved(),
+        );
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+        std::fs::write(path, json).expect("write serve json");
+        println!("  wrote {path}");
     }
     println!("\nsoak OK: warm path {speedup:.0}x, all outputs bit-exact with run_dataflow.");
 }
@@ -519,8 +552,13 @@ fn main() {
     // re-proves each wave's final state so ledger drift fails the gate.
     let audit = verify_mode || check;
 
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+
     if check || !selected {
-        soak(smoke, verify_mode, audit);
+        soak(smoke, verify_mode, audit, json.as_deref());
     }
     if check || !selected || only_queue {
         queue_wave(verify_mode, audit);
