@@ -65,6 +65,11 @@ impl Default for MapOptions {
 
 /// Work counters for one mapping run — how often the per-cut caches
 /// ([`MapOptions::cut_cache`]) short-circuited BDD work.
+///
+/// This is a *view*: [`run_map`] records into a `trace::Registry`
+/// (metric names `map.*`) and materializes this struct from the
+/// counters on return, so the struct's public shape is unchanged while
+/// the numbers share the observability plumbing everything else uses.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MapEffort {
     /// TCON tautology checks requested (cache hits + misses).
@@ -236,12 +241,20 @@ fn prune_lut(leaves: &[u32], ptt: &[Bdd]) -> (Vec<u32>, Vec<Bdd>) {
 
 fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> (MappedDesign, MapEffort) {
     assert!(opts.k >= 2 && opts.k <= 6);
+    let mut map_span = trace::span("map");
+    map_span.arg("nodes", aig.num_nodes());
+    map_span.arg("parameterized", honor_params);
     let mut bdd = BddManager::new();
     let live = aig.live_nodes();
     // Per-cut memo tables ([`MapOptions::cut_cache`]). Keys are interned
     // handle vectors, so key equality is function equality; values replay
-    // the exact handles the original computation produced.
-    let mut effort = MapEffort::default();
+    // the exact handles the original computation produced. The effort
+    // counters live in a registry; `MapEffort` is read off it at return.
+    let effort_reg = trace::Registry::new();
+    let ptt_merges = effort_reg.counter("map.ptt_merges");
+    let ptt_cache_hits = effort_reg.counter("map.ptt_cache_hits");
+    let tcon_checks = effort_reg.counter("map.tcon_checks");
+    let tcon_cache_hits = effort_reg.counter("map.tcon_cache_hits");
     let mut tcon_cache: FxHashMap<Vec<Bdd>, Option<TconCand>> = FxHashMap::default();
     let mut ptt_cache: FxHashMap<(Vec<Bdd>, Vec<Bdd>), Vec<Bdd>> = FxHashMap::default();
 
@@ -263,6 +276,7 @@ fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> (MappedDesign, Ma
     }
 
     // ---- forward pass: priority cuts ----
+    let cuts_span = trace::span("map.cuts");
     let n = aig.num_nodes();
     let fanout = aig.fanouts();
     let mut cutsets: Vec<Vec<Cut>> = Vec::with_capacity(n);
@@ -393,11 +407,11 @@ fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> (MappedDesign, Ma
                     let eb = expand_ptt(&cb.ptt, &cb.leaves, &leaves);
                     let fa = if a.is_neg() { negate_ptt(&mut bdd, &ea) } else { ea };
                     let fb = if b.is_neg() { negate_ptt(&mut bdd, &eb) } else { eb };
-                    effort.ptt_merges += 1;
+                    ptt_merges.inc();
                     let ptt = if opts.cut_cache {
                         match ptt_cache.get(&(fa.clone(), fb.clone())) {
                             Some(p) => {
-                                effort.ptt_cache_hits += 1;
+                                ptt_cache_hits.inc();
                                 p.clone()
                             }
                             None => {
@@ -413,10 +427,10 @@ fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> (MappedDesign, Ma
                     let tcon = if !opts.use_tcons {
                         None
                     } else if opts.cut_cache {
-                        effort.tcon_checks += 1;
+                        tcon_checks.inc();
                         match tcon_cache.get(&ptt) {
                             Some(c) => {
-                                effort.tcon_cache_hits += 1;
+                                tcon_cache_hits.inc();
                                 c.clone()
                             }
                             None => {
@@ -426,7 +440,7 @@ fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> (MappedDesign, Ma
                             }
                         }
                     } else {
-                        effort.tcon_checks += 1;
+                        tcon_checks.inc();
                         tcon_check(&mut bdd, &ptt, k)
                     };
                     // Arrival and area flow: TCONs are free logic-wise;
@@ -505,8 +519,10 @@ fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> (MappedDesign, Ma
         };
         cutsets.push(cuts);
     }
+    drop(cuts_span);
 
     // ---- cover pass ----
+    let cover_span = trace::span("map.cover");
     let mut required = vec![false; n];
     let mut stack: Vec<u32> = Vec::new();
     for (_, l) in aig.outputs() {
@@ -562,8 +578,10 @@ fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> (MappedDesign, Ma
         };
         chosen.insert(id, impl_);
     }
+    drop(cover_span);
 
     // ---- phase assignment: static polarity per mapped node ----
+    let emit_span = trace::span("map.emit");
     // inv[aig_id] = the emitted wire carries (logical function ⊕ inv).
     let mut ids: Vec<u32> = chosen.keys().copied().collect();
     ids.sort_unstable();
@@ -689,7 +707,19 @@ fn run_map(aig: &Aig, opts: MapOptions, honor_params: bool) -> (MappedDesign, Ma
         };
         outputs.push(MappedOutput { name: name.clone(), source, invert });
     }
+    drop(emit_span);
 
+    let effort = MapEffort {
+        tcon_checks: tcon_checks.get() as usize,
+        tcon_cache_hits: tcon_cache_hits.get() as usize,
+        ptt_merges: ptt_merges.get() as usize,
+        ptt_cache_hits: ptt_cache_hits.get() as usize,
+    };
+    map_span.arg("luts", nodes.len());
+    map_span.arg("ptt_merges", effort.ptt_merges);
+    map_span.arg("ptt_cache_hits", effort.ptt_cache_hits);
+    map_span.arg("tcon_checks", effort.tcon_checks);
+    map_span.arg("tcon_cache_hits", effort.tcon_cache_hits);
     (MappedDesign { nodes, outputs, input_names, param_names, bdd }, effort)
 }
 

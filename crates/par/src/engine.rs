@@ -204,15 +204,25 @@ impl ParEngine {
 
     /// End-to-end: size a fabric, place, search the minimum width.
     pub fn run(&self, netlist: &ParNetlist) -> Result<ParReport, String> {
+        let mut run_span = trace::span("par.run");
+        run_span.arg("nets", netlist.nets.len());
         let arch = FabricArch::sized_for(netlist.logic_count(), netlist.io_count());
         let t0 = std::time::Instant::now();
-        let placement = self.place(netlist, arch);
+        let placement = {
+            let _sp = trace::span("par.place");
+            self.place(netlist, arch)
+        };
         let place_seconds = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
+        let mut search_span = trace::span("par.width_search");
         let search = self
             .min_channel_width(netlist, &placement, arch)
             .ok_or_else(|| format!("unroutable up to width {}", self.opts.max_width))?;
+        search_span.arg("min_width", search.min_width);
+        search_span.arg("probes", search.probes.len());
+        drop(search_span);
         let route_seconds = t1.elapsed().as_secs_f64();
+        run_span.arg("min_width", search.min_width);
         // Commit-path audit, checked in release builds too: the report's
         // trees feed configuration generation and the Table I figures.
         let graph = RouteGraph::build(arch, search.min_width);

@@ -394,6 +394,8 @@ pub(crate) fn route_core(
     let mut last_overused = usize::MAX;
 
     for iter in 0..opts.max_iters {
+        let mut iter_span = trace::span("par.route_iter");
+        iter_span.arg("iter", iter);
         // Dirty worklist: unrouted nets, nets crossing an overused wire —
         // or everything, in non-incremental mode.
         let dirty: Vec<u32> = (0..n_nets as u32)
@@ -450,6 +452,8 @@ pub(crate) fn route_core(
             .collect();
         let waves = build_waves(&dirty, &eff);
         waves_total += waves.len();
+        iter_span.arg("dirty", dirty.len());
+        iter_span.arg("waves", waves.len());
 
         // Partition classification over the flattened wave order (the
         // canonical serial order every execution strategy reproduces).
@@ -502,15 +506,24 @@ pub(crate) fn route_core(
             for r in replicas.iter_mut().take(workers) {
                 r.clone_from(&state);
             }
+            let mut part_span = trace::span("par.partition");
+            let (mut iter_interior, mut iter_boundary) = (0usize, 0usize);
             for c in &class {
                 match c {
                     Some(r) => {
                         interior_routes += 1;
+                        iter_interior += 1;
                         region_occupancy[*r] += 1;
                     }
-                    None => boundary_routes += 1,
+                    None => {
+                        boundary_routes += 1;
+                        iter_boundary += 1;
+                    }
                 }
             }
+            part_span.arg("interior", iter_interior);
+            part_span.arg("boundary", iter_boundary);
+            part_span.arg("workers", workers);
             deferred = route_partitioned(
                 graph,
                 &mut state,
@@ -529,8 +542,11 @@ pub(crate) fn route_core(
                 &mut scratches,
                 workers,
             );
+            drop(part_span);
         } else {
             for wave in &waves {
+                let mut wave_span = trace::span("par.wave");
+                wave_span.arg("nets", wave.len());
                 // The write footprint of a member includes the tree it is
                 // about to rip — capture old trees before the rip-up.
                 let old_writes: Vec<Vec<u32>> = if auditor.is_some() {
@@ -561,6 +577,7 @@ pub(crate) fn route_core(
                         &mut scratches,
                     )
                 };
+                let mut wave_deferred = 0usize;
                 for (net, res) in results {
                     match res {
                         Some(tree) => {
@@ -569,9 +586,13 @@ pub(crate) fn route_core(
                             }
                             trees[net as usize] = tree;
                         }
-                        None => deferred.push(net),
+                        None => {
+                            deferred.push(net);
+                            wave_deferred += 1;
+                        }
                     }
                 }
+                wave_span.arg("deferred", wave_deferred);
             }
         }
 
@@ -609,6 +630,8 @@ pub(crate) fn route_core(
 
         let overused = state.accrue_history(opts.acc_fac);
         last_overused = overused;
+        iter_span.arg("ripups", ripups);
+        iter_span.arg("overused", overused);
         if verbose() {
             eprintln!(
                 "    iter {:>2}: {} dirty nets, {} waves, {} overused wires",

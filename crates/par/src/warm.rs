@@ -261,6 +261,10 @@ fn probe(
             if confirm { ", cold confirmation" } else { "" }
         );
     }
+    let mut probe_span = trace::span("par.probe");
+    probe_span.arg("width", graph.width);
+    probe_span.arg("warm_nets", warm_nets);
+    probe_span.arg("confirm", confirm);
     let t0 = std::time::Instant::now();
     let r = route_core(netlist, placement, graph, opts.route, knobs, seed, None, None);
     let seconds = t0.elapsed().as_secs_f64();
@@ -268,6 +272,10 @@ fn probe(
         Ok(res) => (true, res.iterations, res.ripups),
         Err(e) => (false, e.iterations, e.ripups),
     };
+    probe_span.arg("success", success);
+    probe_span.arg("iterations", iterations);
+    probe_span.arg("ripups", ripups);
+    drop(probe_span);
     if crate::incr::verbose() {
         eprintln!(
             "  probe width {}: {} in {:.2}s ({} iters, {} ripups)",

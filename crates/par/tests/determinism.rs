@@ -278,6 +278,50 @@ proptest::proptest! {
     }
 }
 
+/// Observability guarantee (`vcgra-trace`): arming the span recorder
+/// only *observes* the router — placements, minima, and routing trees
+/// stay bit-identical to the untraced run at every thread count. This
+/// is the determinism guard the tracing instrumentation in
+/// `engine`/`incr`/`warm` must never trip.
+#[test]
+fn tracing_does_not_change_routed_results() {
+    let nl = mul_netlist(4, true);
+    let baseline: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            ParEngine::new(EngineOptions { threads, ..Default::default() })
+                .run(&nl)
+                .expect("routable untraced")
+        })
+        .collect();
+
+    trace::configure(trace::TraceConfig::On);
+    let traced: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            ParEngine::new(EngineOptions { threads, ..Default::default() })
+                .run(&nl)
+                .expect("routable traced")
+        })
+        .collect();
+    trace::configure(trace::TraceConfig::Off);
+    let events = trace::take_events();
+    assert!(
+        events.iter().any(|e| e.name == "par.route_iter"),
+        "recorder was armed, so router spans must have been captured"
+    );
+
+    for (t, (b, r)) in baseline.iter().zip(&traced).enumerate() {
+        assert_eq!(b.placement.site_of, r.placement.site_of, "threads[{t}] placement");
+        assert_eq!(b.min_channel_width, r.min_channel_width, "threads[{t}] minimum width");
+        assert_eq!(
+            b.result.trees, r.result.trees,
+            "tracing must not change routing trees (thread index {t})"
+        );
+        assert_eq!(b.result.wirelength, r.result.wirelength);
+    }
+}
+
 #[test]
 fn warm_start_does_not_change_the_reported_minimum() {
     let nl = mul_netlist(5, true);

@@ -102,6 +102,10 @@ pub fn run_bands(bands: Vec<BandWork<'_>>, workers: usize, batch_size: usize) ->
                     // swaps in as well when another tenant was resident.
                     let swap_in = slot > 0 || band.swap_in_first;
                     let switches = if band.shared && swap_in { 1 } else { 0 };
+                    let mut request_span = trace::span("request");
+                    request_span.arg("tenant", job.tenant);
+                    request_span.arg("op", "execute");
+                    let mut exec_span = trace::span("execute");
                     let mut outputs = Vec::with_capacity(job.inputs.len());
                     let mut batches = 0;
                     let t0 = std::time::Instant::now();
@@ -112,6 +116,10 @@ pub fn run_bands(bands: Vec<BandWork<'_>>, workers: usize, batch_size: usize) ->
                         batches += 1;
                     }
                     let exec_time = t0.elapsed();
+                    exec_span.arg("items", outputs.len());
+                    exec_span.arg("batches", batches as u64);
+                    drop(exec_span);
+                    drop(request_span);
                     runs.push(TenantRun {
                         tenant: job.tenant,
                         epoch: job.epoch,

@@ -330,6 +330,13 @@ impl Tenant {
 }
 
 /// Pool-wide accounting: measured host cost vs modeled port cost.
+///
+/// This struct is a *view*: every counter lives in the runtime's
+/// [`trace::Registry`] (metric names `runtime.*`, durations as `*_ns`
+/// nanosecond counters), and the runtime materializes this struct from
+/// the registry after each mutating operation. The public shape is
+/// unchanged; [`Runtime::metrics`] exposes the registry itself, which
+/// additionally carries the admission/execute latency histograms.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ledger {
     /// Admissions that compiled.
@@ -411,6 +418,95 @@ struct Pending {
     graph: AppGraph,
 }
 
+/// Registry-backed cells behind the [`Ledger`] view: one counter handle
+/// per field, recorded lock-free and materialized by
+/// [`LedgerCells::view`]. Durations are nanosecond counters (`*_ns`).
+struct LedgerCells {
+    cold_compiles: trace::Counter,
+    warm_admissions: trace::Counter,
+    host_compile_ns: trace::Counter,
+    host_admit_ns: trace::Counter,
+    admission_port_ns: trace::Counter,
+    queued: trace::Counter,
+    queue_admitted: trace::Counter,
+    queue_dropped: trace::Counter,
+    queue_cancelled: trace::Counter,
+    sig_derivations: trace::Counter,
+    sig_derive_ns: trace::Counter,
+    compactions: trace::Counter,
+    relocated_bands: trace::Counter,
+    compaction_port_ns: trace::Counter,
+    swaps: trace::Counter,
+    swap_frames: trace::Counter,
+    swap_port_ns: trace::Counter,
+    swap_eval_ns: trace::Counter,
+    context_switches: trace::Counter,
+    switch_port_ns: trace::Counter,
+    items: trace::Counter,
+    exec_ns: trace::Counter,
+}
+
+impl LedgerCells {
+    fn new(reg: &trace::Registry) -> Self {
+        LedgerCells {
+            cold_compiles: reg.counter("runtime.cold_compiles"),
+            warm_admissions: reg.counter("runtime.warm_admissions"),
+            host_compile_ns: reg.counter("runtime.host_compile_ns"),
+            host_admit_ns: reg.counter("runtime.host_admit_ns"),
+            admission_port_ns: reg.counter("runtime.admission_port_ns"),
+            queued: reg.counter("runtime.queued"),
+            queue_admitted: reg.counter("runtime.queue_admitted"),
+            queue_dropped: reg.counter("runtime.queue_dropped"),
+            queue_cancelled: reg.counter("runtime.queue_cancelled"),
+            sig_derivations: reg.counter("runtime.sig_derivations"),
+            sig_derive_ns: reg.counter("runtime.sig_derive_ns"),
+            compactions: reg.counter("runtime.compactions"),
+            relocated_bands: reg.counter("runtime.relocated_bands"),
+            compaction_port_ns: reg.counter("runtime.compaction_port_ns"),
+            swaps: reg.counter("runtime.swaps"),
+            swap_frames: reg.counter("runtime.swap_frames"),
+            swap_port_ns: reg.counter("runtime.swap_port_ns"),
+            swap_eval_ns: reg.counter("runtime.swap_eval_ns"),
+            context_switches: reg.counter("runtime.context_switches"),
+            switch_port_ns: reg.counter("runtime.switch_port_ns"),
+            items: reg.counter("runtime.items"),
+            exec_ns: reg.counter("runtime.exec_ns"),
+        }
+    }
+
+    /// Materialize the [`Ledger`] view from the registry counters.
+    fn view(&self, paper_pe_unit: Duration) -> Ledger {
+        fn ns(c: &trace::Counter) -> Duration {
+            Duration::from_nanos(c.get())
+        }
+        Ledger {
+            cold_compiles: self.cold_compiles.get() as usize,
+            warm_admissions: self.warm_admissions.get() as usize,
+            host_compile_time: ns(&self.host_compile_ns),
+            host_admit_time: ns(&self.host_admit_ns),
+            admission_port_time: ns(&self.admission_port_ns),
+            queued: self.queued.get() as usize,
+            queue_admitted: self.queue_admitted.get() as usize,
+            queue_dropped: self.queue_dropped.get() as usize,
+            queue_cancelled: self.queue_cancelled.get() as usize,
+            sig_derivations: self.sig_derivations.get() as usize,
+            sig_derive_time: ns(&self.sig_derive_ns),
+            compactions: self.compactions.get() as usize,
+            relocated_bands: self.relocated_bands.get() as usize,
+            compaction_port_time: ns(&self.compaction_port_ns),
+            swaps: self.swaps.get() as usize,
+            swap_frames: self.swap_frames.get() as usize,
+            swap_port_time: ns(&self.swap_port_ns),
+            swap_eval_time: ns(&self.swap_eval_ns),
+            context_switches: self.context_switches.get() as usize,
+            switch_port_time: ns(&self.switch_port_ns),
+            items: self.items.get() as usize,
+            exec_time: ns(&self.exec_ns),
+            paper_pe_unit,
+        }
+    }
+}
+
 /// The multi-tenant overlay runtime.
 pub struct Runtime {
     cfg: RuntimeConfig,
@@ -419,6 +515,18 @@ pub struct Runtime {
     pricer: SettingsPricer,
     tenants: BTreeMap<TenantId, Tenant>,
     next_id: TenantId,
+    /// Source of truth for the [`Ledger`] view plus the admission and
+    /// execute latency histograms (`runtime.admit_ns`,
+    /// `runtime.execute_ns`).
+    metrics: trace::Registry,
+    /// Counter handles into `metrics`, one per ledger field.
+    cells: LedgerCells,
+    /// Per-admission host-latency histogram (`runtime.admit_ns`).
+    admit_hist: trace::Histogram,
+    /// Per-tenant-run host-latency histogram (`runtime.execute_ns`).
+    exec_hist: trace::Histogram,
+    /// Cached [`Ledger`] view, refreshed after every mutating operation
+    /// so `ledger()` can keep returning a reference.
     ledger: Ledger,
     /// FIFO admission queue: submissions the pool could not place yet.
     queue: VecDeque<Pending>,
@@ -441,10 +549,11 @@ impl Runtime {
         let pool = GridPool::new(cfg.grids.clone());
         let cache = ConfigCache::new(cfg.cache_capacity);
         let pricer = SettingsPricer::new(cfg.pricer_format, cfg.iface);
-        let ledger = Ledger {
-            paper_pe_unit: dcs::paper_pe_reconfig(cfg.iface),
-            ..Ledger::default()
-        };
+        let metrics = trace::Registry::new();
+        let cells = LedgerCells::new(&metrics);
+        let admit_hist = metrics.histogram("runtime.admit_ns");
+        let exec_hist = metrics.histogram("runtime.execute_ns");
+        let ledger = cells.view(dcs::paper_pe_reconfig(cfg.iface));
         Runtime {
             cfg,
             pool,
@@ -452,6 +561,10 @@ impl Runtime {
             pricer,
             tenants: BTreeMap::new(),
             next_id: 0,
+            metrics,
+            cells,
+            admit_hist,
+            exec_hist,
             ledger,
             queue: VecDeque::new(),
             queue_failures: Vec::new(),
@@ -497,8 +610,16 @@ impl Runtime {
     fn enqueue(&mut self, tenant: TenantId, name: String, graph: AppGraph) -> Queued {
         let position = self.queue.len();
         self.queue.push_back(Pending { tenant, name, graph });
-        self.ledger.queued += 1;
+        self.cells.queued.inc();
+        self.sync_ledger();
+        trace::instant("runtime.queued", vec![("tenant", tenant.into()), ("position", position.into())]);
         Queued { tenant, position }
+    }
+
+    /// Refresh the cached [`Ledger`] view from the registry counters.
+    /// Called at the end of every mutating operation.
+    fn sync_ledger(&mut self) {
+        self.ledger = self.cells.view(self.ledger.paper_pe_unit);
     }
 
     /// Drains the admission queue: places waiting tenants in strict FIFO
@@ -514,7 +635,7 @@ impl Runtime {
         while let Some(front) = self.queue.pop_front() {
             match self.place_and_admit(front.tenant, &front.name, &front.graph) {
                 Ok(adm) => {
-                    self.ledger.queue_admitted += 1;
+                    self.cells.queue_admitted.inc();
                     admitted.push(adm);
                 }
                 Err(RuntimeError::Pool(PoolError::Oversubscribed { .. })) => {
@@ -523,11 +644,12 @@ impl Runtime {
                     break;
                 }
                 Err(e) => {
-                    self.ledger.queue_dropped += 1;
+                    self.cells.queue_dropped.inc();
                     self.queue_failures.push((front.tenant, e));
                 }
             }
         }
+        self.sync_ledger();
         admitted
     }
 
@@ -540,6 +662,14 @@ impl Runtime {
         name: &str,
         graph: &AppGraph,
     ) -> Result<Admitted, RuntimeError> {
+        // Per-request span tree: request > admission > {placement, cache,
+        // compile, pricing, sig}; compaction opens its own child inside
+        // apply_relocations. `serve --trace` renders admissions as these
+        // nested slices.
+        let mut request_span = trace::span("request");
+        request_span.arg("tenant", id);
+        request_span.arg("op", "admit");
+        let admission_span = trace::span("admission");
         let demand = graph.pe_demand();
         let channel_capacity = self.pool.channel_capacity();
 
@@ -547,6 +677,7 @@ impl Runtime {
         // band right now, prefer one whose region shape already has this
         // structure compiled — a warm hit there skips `map_app` entirely.
         // With no candidate, fall through to compaction / time-sharing.
+        let placement_span = trace::span("placement");
         let candidates = self.pool.dedicated_candidates(demand);
         let (lease, relocations) = if !candidates.is_empty() {
             let pick = if self.cfg.cache_aware {
@@ -574,6 +705,7 @@ impl Runtime {
         } else {
             self.pool.allocate_with(id, demand, self.cfg.compact, self.cfg.time_share)?
         };
+        drop(placement_span);
         self.apply_relocations(&relocations);
 
         // Compile against the *minimal* region for this demand, not the
@@ -588,13 +720,18 @@ impl Runtime {
         let key = ConfigKey::new(region, graph);
 
         let t0 = std::time::Instant::now();
-        let (mapping, cache_hit, compile_time) = match self.cache.get(&key) {
+        let mut cache_span = trace::span("cache");
+        let lookup = self.cache.get(&key);
+        cache_span.arg("hit", lookup.is_some());
+        drop(cache_span);
+        let (mapping, cache_hit, compile_time) = match lookup {
             Some(cached) => {
                 let mut mapping = cached.mapping.clone();
                 Self::write_settings(&mut mapping, graph);
                 (mapping, true, Duration::ZERO)
             }
             None => {
+                let compile_span = trace::span("compile");
                 let mapping = match vcgra::flow::map_app(graph, region, self.cfg.place_seed) {
                     Ok(m) => m,
                     Err(e) => {
@@ -604,6 +741,7 @@ impl Runtime {
                         return Err(e.into());
                     }
                 };
+                drop(compile_span);
                 let compile_time = mapping.compile_time;
                 let cached = self.cache.insert(
                     key.clone(),
@@ -614,15 +752,19 @@ impl Runtime {
         };
         let admit_time = t0.elapsed();
 
+        let mut pricing_span = trace::span("pricing");
         let config_port_time = self.pricer.full_config_cost(demand);
+        pricing_span.arg("port_ns", config_port_time.as_nanos() as u64);
+        drop(pricing_span);
         if cache_hit {
-            self.ledger.warm_admissions += 1;
+            self.cells.warm_admissions.inc();
         } else {
-            self.ledger.cold_compiles += 1;
-            self.ledger.host_compile_time += compile_time;
+            self.cells.cold_compiles.inc();
+            self.cells.host_compile_ns.add(compile_time.as_nanos() as u64);
         }
-        self.ledger.host_admit_time += admit_time;
-        self.ledger.admission_port_time += config_port_time;
+        self.cells.host_admit_ns.add(admit_time.as_nanos() as u64);
+        self.cells.admission_port_ns.add(config_port_time.as_nanos() as u64);
+        self.admit_hist.record_duration(admit_time);
 
         // Derive the verifier's structural signature once, here, instead
         // of per snapshot: under `verify_on_admit` every mutating
@@ -631,14 +773,16 @@ impl Runtime {
         // keeps the measured derivation cost so drivers can report the
         // audit seconds the memo saves.
         let t_sig = std::time::Instant::now();
+        let sig_span = trace::span("sig");
         let sig = verify::sched::StructureSig::of(
             mapping.arch.rows,
             mapping.arch.cols,
             channel_capacity,
             graph,
         );
-        self.ledger.sig_derivations += 1;
-        self.ledger.sig_derive_time += t_sig.elapsed();
+        drop(sig_span);
+        self.cells.sig_derivations.inc();
+        self.cells.sig_derive_ns.add(t_sig.elapsed().as_nanos() as u64);
 
         // Admission writes the tenant's configuration into the region, so
         // it becomes the band's resident.
@@ -656,6 +800,10 @@ impl Runtime {
                 sig,
             },
         );
+        self.sync_ledger();
+        drop(admission_span);
+        request_span.arg("cache_hit", cache_hit);
+        request_span.arg("admit_ns", admit_time.as_nanos() as u64);
         Ok(Admitted {
             tenant: id,
             lease,
@@ -676,12 +824,17 @@ impl Runtime {
         if relocations.is_empty() {
             return;
         }
-        self.ledger.compactions += 1;
+        let mut compaction_span = trace::span("compaction");
+        compaction_span.arg("bands", relocations.len());
+        self.cells.compactions.inc();
         let archs = self.pool.grid_archs();
         for r in relocations {
-            self.ledger.relocated_bands += 1;
-            self.ledger.compaction_port_time +=
-                self.pricer.full_config_cost(r.rows * archs[r.grid].cols);
+            self.cells.relocated_bands.inc();
+            self.cells.compaction_port_ns.add(
+                self.pricer
+                    .full_config_cost(r.rows * archs[r.grid].cols)
+                    .as_nanos() as u64,
+            );
             if let Some(res) = self.resident.remove(&(r.grid, r.old_row0)) {
                 self.resident.insert((r.grid, r.new_row0), res);
             }
@@ -692,6 +845,7 @@ impl Runtime {
                 }
             }
         }
+        self.sync_ledger();
     }
 
     /// Writes a graph's parameters into a mapping's settings (the
@@ -775,8 +929,14 @@ impl Runtime {
         new_graph: AppGraph,
         changes: Vec<PeChange>,
     ) -> Result<SwapReport, RuntimeError> {
+        let mut request_span = trace::span("request");
+        request_span.arg("tenant", tenant);
+        request_span.arg("op", "swap");
         let grid_arch = self.pool.grid_archs()[self.tenants[&tenant].lease.grid];
+        let mut pricing_span = trace::span("pricing");
         let report = self.pricer.price_swap((grid_arch.rows, grid_arch.cols), &changes);
+        pricing_span.arg("frames", report.frames());
+        drop(pricing_span);
         let t = self.tenants.get_mut(&tenant).expect("caller verified the tenant is live");
         let cols = t.mapping.arch.cols;
         for ch in &changes {
@@ -787,10 +947,11 @@ impl Runtime {
         t.stats.swaps += 1;
         t.stats.swap_frames += report.frames();
         t.stats.swap_port_time += report.port_time;
-        self.ledger.swaps += 1;
-        self.ledger.swap_frames += report.frames();
-        self.ledger.swap_port_time += report.port_time;
-        self.ledger.swap_eval_time += report.eval_time;
+        self.cells.swaps.inc();
+        self.cells.swap_frames.add(report.frames() as u64);
+        self.cells.swap_port_ns.add(report.port_time.as_nanos() as u64);
+        self.cells.swap_eval_ns.add(report.eval_time.as_nanos() as u64);
+        self.sync_ledger();
         Ok(report)
     }
 
@@ -932,11 +1093,13 @@ impl Runtime {
             stats.exec_time += run.exec_time;
             stats.context_switches += run.context_switches;
             stats.switch_port_time += run.switch_port_time;
-            self.ledger.items += run.items;
-            self.ledger.exec_time += run.exec_time;
-            self.ledger.context_switches += run.context_switches;
-            self.ledger.switch_port_time += run.switch_port_time;
+            self.cells.items.add(run.items as u64);
+            self.cells.exec_ns.add(run.exec_time.as_nanos() as u64);
+            self.cells.context_switches.add(run.context_switches as u64);
+            self.cells.switch_port_ns.add(run.switch_port_time.as_nanos() as u64);
+            self.exec_hist.record_duration(run.exec_time);
         }
+        self.sync_ledger();
         self.enforce_invariants()?;
         Ok(runs)
     }
@@ -947,7 +1110,8 @@ impl Runtime {
     pub fn release(&mut self, tenant: TenantId) -> Result<Vec<Admitted>, RuntimeError> {
         if let Some(pos) = self.queue.iter().position(|p| p.tenant == tenant) {
             self.queue.remove(pos);
-            self.ledger.queue_cancelled += 1;
+            self.cells.queue_cancelled.inc();
+            self.sync_ledger();
             // Cancelling the head may unblock everyone behind it.
             let admitted = self.drain_queue();
             self.enforce_invariants()?;
@@ -996,6 +1160,12 @@ impl Runtime {
     /// The pool-wide ledger.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
+    }
+
+    /// The metrics registry backing the ledger: `runtime.*` counters plus
+    /// the `runtime.admit_ns` / `runtime.execute_ns` latency histograms.
+    pub fn metrics(&self) -> &trace::Registry {
+        &self.metrics
     }
 
     /// Snapshot tenant rows served from the memoized structural signature
@@ -1091,10 +1261,14 @@ impl Runtime {
             queue: self.queue.iter().map(|p| p.tenant).collect(),
             resident: self.resident.iter().map(|(&(g, r), &t)| (g, r, t)).collect(),
             ledger: LedgerSnap {
-                queued: self.ledger.queued as u64,
-                queue_admitted: self.ledger.queue_admitted as u64,
-                queue_dropped: self.ledger.queue_dropped as u64,
-                queue_cancelled: self.ledger.queue_cancelled as u64,
+                // Read the registry cells, not the cached view: the view is
+                // refreshed at the end of each mutating call, so mid-call
+                // snapshots (invariant enforcement) would otherwise see
+                // stale queue-flow counts.
+                queued: self.cells.queued.get(),
+                queue_admitted: self.cells.queue_admitted.get(),
+                queue_dropped: self.cells.queue_dropped.get(),
+                queue_cancelled: self.cells.queue_cancelled.get(),
             },
             cache: self
                 .cache

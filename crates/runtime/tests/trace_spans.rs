@@ -1,0 +1,107 @@
+//! Span-decomposition contract of the runtime's instrumentation: every
+//! admission is a `request` span whose subtree contains the
+//! `admission`, `cache`, and `pricing` phases, every streaming job is a
+//! `request` span containing `execute`, and the ledger the driver
+//! prints is exactly the view over the `runtime.*` metrics registry.
+//!
+//! Single `#[test]` on purpose: the span recorder is process-global, so
+//! one test owns arm/drain and no sibling can interleave events.
+
+use runtime::{kernels, Runtime, RuntimeConfig, StreamRequest};
+use softfloat::FpFormat;
+use std::collections::{BTreeMap, BTreeSet};
+use vcgra::VcgraArch;
+
+const F: FpFormat = FpFormat::PAPER;
+
+/// Replays the per-thread Begin/End streams into parent -> children
+/// edges, panicking on unbalanced or non-LIFO nesting.
+fn child_map(events: &[trace::TraceEvent]) -> BTreeMap<&'static str, BTreeSet<&'static str>> {
+    let mut stacks: BTreeMap<u64, Vec<&'static str>> = BTreeMap::new();
+    let mut children: BTreeMap<&'static str, BTreeSet<&'static str>> = BTreeMap::new();
+    for e in events {
+        match e.phase {
+            trace::Phase::Begin => {
+                let stack = stacks.entry(e.tid).or_default();
+                if let Some(&parent) = stack.last() {
+                    children.entry(parent).or_default().insert(e.name);
+                }
+                stack.push(e.name);
+            }
+            trace::Phase::End => {
+                let top = stacks
+                    .get_mut(&e.tid)
+                    .and_then(Vec::pop)
+                    .expect("E event without a matching B on this thread");
+                assert_eq!(top, e.name, "spans must close LIFO per thread");
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "thread {tid} left spans open: {stack:?}");
+    }
+    children
+}
+
+#[test]
+fn request_spans_decompose_and_ledger_views_the_registry() {
+    trace::configure(trace::TraceConfig::On);
+
+    let mut rt = Runtime::new(RuntimeConfig {
+        grids: vec![VcgraArch::new(8, 4, 2)],
+        ..RuntimeConfig::default()
+    });
+    let lib = kernels::library(F);
+    let w = &lib[0];
+    let cold = rt.submit(&w.name, w.graph.clone()).expect("submit").expect_admitted("empty pool");
+    assert!(!cold.cache_hit);
+    let warm = rt
+        .submit(format!("{}-warm", w.name), w.graph.clone())
+        .expect("submit")
+        .expect_admitted("fits");
+    assert!(warm.cache_hit, "same structure must hit the cache");
+    let inputs: Vec<Vec<softfloat::FpValue>> =
+        (0..8).map(|i| (0..w.graph.num_inputs).map(|j| softfloat::FpValue::from_f64((i + j) as f64 * 0.25, F)).collect()).collect();
+    let runs = rt.run(vec![StreamRequest { tenant: cold.tenant, inputs }]).expect("stream");
+    assert_eq!(runs.len(), 1);
+
+    trace::configure(trace::TraceConfig::Off);
+    let events = trace::take_events();
+    let children = child_map(&events);
+
+    // The acceptance shape: request spans decompose into admission /
+    // cache / pricing / execute phases (cache and pricing live inside
+    // the admission subtree; execute under the streaming request).
+    let request = children.get("request").expect("request spans recorded");
+    assert!(request.contains("admission"), "admit requests open an admission child");
+    assert!(request.contains("execute"), "stream requests open an execute child");
+    let admission = children.get("admission").expect("admission spans recorded");
+    for phase in ["cache", "pricing", "placement", "sig"] {
+        assert!(admission.contains(phase), "admission subtree must contain {phase}");
+    }
+    assert!(
+        children.get("admission").unwrap().contains("compile"),
+        "the cold admission compiled, so its span must appear"
+    );
+
+    // Ledger <-> registry agreement: the public Ledger is a view, so
+    // every count it reports equals the corresponding runtime.* cell.
+    let led = rt.ledger();
+    let m = rt.metrics();
+    assert_eq!(led.cold_compiles as u64, m.counter_value("runtime.cold_compiles"));
+    assert_eq!(led.warm_admissions as u64, m.counter_value("runtime.warm_admissions"));
+    assert_eq!(led.items as u64, m.counter_value("runtime.items"));
+    assert_eq!(led.swaps as u64, m.counter_value("runtime.swaps"));
+    assert_eq!(
+        led.host_admit_time.as_nanos() as u64,
+        m.counter_value("runtime.host_admit_ns")
+    );
+
+    // Latency histograms populated: one sample per admission, one per
+    // streamed job.
+    let hists: BTreeMap<String, trace::HistogramSnapshot> = m.histograms().into_iter().collect();
+    assert_eq!(hists["runtime.admit_ns"].count, 2);
+    assert_eq!(hists["runtime.execute_ns"].count, 1);
+    assert!(hists["runtime.admit_ns"].p99() >= hists["runtime.admit_ns"].p50());
+}

@@ -1,0 +1,36 @@
+//! `vcgra-trace` — zero-dependency observability for the VCGRA stack.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`span`] / [`Span`]: a global span recorder. Off by default and
+//!   costing one branch per call site when off; when enabled with
+//!   [`configure`]`(`[`TraceConfig::On`]`)`, nested spans with typed
+//!   attributes are buffered and serialized as Chrome trace-event JSON
+//!   by [`write_chrome_trace`] (loadable in Perfetto or
+//!   `chrome://tracing`). Every `xbench` driver exposes it as
+//!   `--trace <path>`.
+//! - [`Registry`]: named [`Counter`]s, [`Gauge`]s, and log-linear-bucket
+//!   [`Histogram`]s with p50/p95/p99/max readout. The runtime's
+//!   `Ledger` and the mapper's `MapEffort` are views over registries
+//!   from this module.
+//! - [`json`]: a minimal JSON parser so the trace round-trip tests and
+//!   `xbench bench_diff` can consume this crate's output without any
+//!   external dependency.
+//!
+//! Recording only observes — enabling tracing never changes computed
+//! results (the par determinism suite proves routed trees are
+//! bit-identical with tracing on and off).
+
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::{to_chrome_json, write_chrome_trace};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use span::{
+    configure, counter, event_count, instant, is_enabled, span, take_events, AttrValue, Phase,
+    Span, TraceConfig, TraceEvent,
+};

@@ -1,0 +1,69 @@
+//! Property tests for the histogram quantile math.
+//!
+//! Contract under test: for any recorded sample set, a reported
+//! quantile lands in the *same log-linear bucket* as the exact
+//! order-statistic, so it sits within one bucket width of exact
+//! (relative error <= 1/SUBS = 12.5 %), and min/max/count/sum are
+//! exact.
+
+use proptest::prelude::*;
+use trace::metrics::{bucket_bounds, bucket_index, Histogram};
+
+/// Exact order statistic with the same rank rule the histogram uses:
+/// the `ceil(q*n)`-th smallest sample (1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+fn check_quantiles(values: &[u64]) {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let s = h.snapshot();
+
+    assert_eq!(s.count, values.len() as u64);
+    assert_eq!(s.min, sorted[0]);
+    assert_eq!(s.max, *sorted.last().unwrap());
+    assert_eq!(s.sum, values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+
+    for q in [0.0, 0.50, 0.95, 0.99, 1.0] {
+        let exact = exact_quantile(&sorted, q);
+        let approx = s.quantile(q);
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        let width = hi - lo;
+        let diff = approx.abs_diff(exact);
+        assert!(
+            diff <= width,
+            "q={q}: approx {approx} vs exact {exact} differ by {diff} > bucket width {width} \
+             (bucket [{lo},{hi}))"
+        );
+    }
+    // The extreme quantiles are exact, not just bucket-accurate.
+    assert_eq!(s.quantile(1.0), s.max);
+}
+
+proptest! {
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(raw in prop::collection::vec(any::<u64>(), 1..120)) {
+        check_quantiles(&raw);
+    }
+
+    // Small magnitudes exercise the exact unit buckets and the first
+    // octaves, where bucket-boundary off-by-ones would hide.
+    #[test]
+    fn small_value_quantiles_within_one_bucket(raw in prop::collection::vec(0u64..2048, 1..200)) {
+        check_quantiles(&raw);
+    }
+
+    // Latency-shaped samples: microsecond-to-second nanosecond counts.
+    #[test]
+    fn latency_shaped_quantiles_within_one_bucket(
+        raw in prop::collection::vec(1_000u64..2_000_000_000, 1..150),
+    ) {
+        check_quantiles(&raw);
+    }
+}

@@ -16,6 +16,7 @@ use vcgra::{VirtualPe, VirtualPeConfig};
 
 fn main() {
     let smoke = xbench::smoke_mode();
+    let trace_path = xbench::init_trace();
     // Reduced format keeps each point fast; trends carry to (6,26).
     let fmt = if smoke { FpFormat::new(4, 6) } else { FpFormat::new(5, 10) };
     let max_hops = if smoke { 2 } else { 3 };
@@ -94,4 +95,5 @@ fn main() {
          is robust to the cut budget; and the relative saving grows with the\n\
          coefficient width, as constant propagation touches more of the datapath."
     );
+    xbench::finish_trace(trace_path.as_deref());
 }

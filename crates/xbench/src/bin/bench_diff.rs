@@ -1,0 +1,159 @@
+//! CI regression gate over the provenance-stamped `BENCH_*.json`
+//! records (see `xbench::bench`).
+//!
+//! Compares a candidate record against a committed baseline:
+//!
+//! - `schema_version` and `bench` must match exactly (envelope drift
+//!   fails the gate);
+//! - the two records must expose the **same set of leaf paths** — a
+//!   missing or extra field is schema drift, which fails loudly instead
+//!   of silently narrowing the comparison;
+//! - numeric leaves must agree within a relative tolerance (default
+//!   ±20%), **except** machine-varying time measurements (`*_seconds`,
+//!   `*_time`, `*_ns`, `*_ms`, speedups), which are skipped — the gate
+//!   guards counters and structural results, not wall clocks;
+//! - the `provenance` subtree is compared for shape only (its values
+//!   differ per host/revision by design).
+//!
+//! Usage: `cargo run -p xbench --bin bench_diff -- <baseline.json>
+//!         <candidate.json> [--tolerance 0.20]`
+
+use trace::json::{parse, JsonValue};
+
+/// True for leaf keys whose values vary with the machine or the clock —
+/// excluded from the tolerance comparison (shape is still checked).
+fn time_like(key: &str) -> bool {
+    key.ends_with("_ns")
+        || key.ends_with("_ms")
+        || key.contains("seconds")
+        || key.contains("time")
+        || key.contains("speedup")
+}
+
+/// Flattens a record into `path -> leaf` rows, `.`-joined object keys,
+/// `[i]` for array elements.
+fn flatten<'a>(v: &'a JsonValue, path: String, out: &mut Vec<(String, &'a JsonValue)>) {
+    match v {
+        JsonValue::Obj(fields) => {
+            for (k, val) in fields {
+                let p = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                flatten(val, p, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, val) in items.iter().enumerate() {
+                flatten(val, format!("{path}[{i}]"), out);
+            }
+        }
+        leaf => out.push((path, leaf)),
+    }
+}
+
+fn load(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_diff: cannot read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("bench_diff: {path} is not valid JSON: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--tolerance 0.20]");
+        std::process::exit(2);
+    }
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .map(|i| args[i + 1].parse().expect("--tolerance takes a float"))
+        .unwrap_or(0.20);
+    let (base_path, cand_path) = (&args[1], &args[2]);
+    let base = load(base_path);
+    let cand = load(cand_path);
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Envelope: same schema version, same benchmark.
+    for key in ["schema_version", "bench"] {
+        let (b, c) = (base.get(key), cand.get(key));
+        let same = match (b, c) {
+            (Some(JsonValue::Num(x)), Some(JsonValue::Num(y))) => x == y,
+            (Some(JsonValue::Str(x)), Some(JsonValue::Str(y))) => x == y,
+            _ => false,
+        };
+        if !same {
+            failures.push(format!("envelope mismatch on \"{key}\": {b:?} vs {c:?}"));
+        }
+    }
+
+    let mut base_leaves = Vec::new();
+    let mut cand_leaves = Vec::new();
+    flatten(&base, String::new(), &mut base_leaves);
+    flatten(&cand, String::new(), &mut cand_leaves);
+
+    // Shape: identical leaf-path sets (schema drift check).
+    let base_paths: std::collections::BTreeSet<&str> =
+        base_leaves.iter().map(|(p, _)| p.as_str()).collect();
+    let cand_paths: std::collections::BTreeSet<&str> =
+        cand_leaves.iter().map(|(p, _)| p.as_str()).collect();
+    for missing in base_paths.difference(&cand_paths) {
+        failures.push(format!("schema drift: \"{missing}\" present in baseline, absent in candidate"));
+    }
+    for extra in cand_paths.difference(&base_paths) {
+        failures.push(format!("schema drift: \"{extra}\" present in candidate, absent in baseline"));
+    }
+
+    // Values: numeric leaves within tolerance; provenance and
+    // time-like measurements shape-checked only.
+    let cand_by_path: std::collections::BTreeMap<&str, &JsonValue> =
+        cand_leaves.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    let (mut compared, mut skipped) = (0usize, 0usize);
+    for (path, bval) in &base_leaves {
+        let Some(cval) = cand_by_path.get(path.as_str()) else { continue };
+        if path.starts_with("provenance.") || time_like(path) {
+            skipped += 1;
+            continue;
+        }
+        match (bval, cval) {
+            (JsonValue::Num(b), JsonValue::Num(c)) => {
+                compared += 1;
+                let rel = (c - b).abs() / b.abs().max(1.0);
+                if rel > tolerance {
+                    failures.push(format!(
+                        "regression: \"{path}\" moved {b} -> {c} ({:.0}% > ±{:.0}%)",
+                        rel * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            (JsonValue::Bool(b), JsonValue::Bool(c)) => {
+                compared += 1;
+                if b != c {
+                    failures.push(format!("regression: \"{path}\" flipped {b} -> {c}"));
+                }
+            }
+            (JsonValue::Str(b), JsonValue::Str(c)) => {
+                compared += 1;
+                if b != c {
+                    failures.push(format!("regression: \"{path}\" changed \"{b}\" -> \"{c}\""));
+                }
+            }
+            _ => {
+                failures.push(format!("schema drift: \"{path}\" changed JSON type"));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench_diff OK: {base_path} vs {cand_path} — {compared} leaves within ±{:.0}%, \
+             {skipped} machine-varying leaves shape-checked only",
+            tolerance * 100.0
+        );
+    } else {
+        eprintln!("bench_diff FAILED: {base_path} vs {cand_path}");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -39,6 +39,7 @@ const CHECK_ROUTE_SECONDS: f64 = 10.0;
 
 fn main() {
     let smoke = xbench::smoke_mode();
+    let trace_path = xbench::init_trace();
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
     let flag_val = |name: &str| -> Option<String> {
@@ -174,17 +175,13 @@ fn main() {
                 r.iterations, r.waves, r.interior_routes, r.boundary_routes
             ));
         }
-        let json = format!(
-            "{{\n  \"bench\": \"route_scaling\",\n  \"smoke\": {smoke},\n  \
-             \"width\": {width},\n  \"partitions\": {partitions},\n  \
-             \"nets\": {},\n  \"sweep\": [\n{}\n  ]\n}}\n",
-            netlist.nets.len(),
-            rows.join(",\n")
-        );
-        if let Some(dir) = std::path::Path::new(&json_path).parent() {
-            std::fs::create_dir_all(dir).expect("create output dir");
-        }
-        std::fs::write(&json_path, json).expect("write scaling json");
+        let record = xbench::bench::BenchRecord::new("route_scaling")
+            .field("smoke", smoke)
+            .field("width", width)
+            .field("partitions", partitions)
+            .field("nets", netlist.nets.len())
+            .raw("sweep", format!("[\n{}\n  ]", rows.join(",\n")));
+        record.write(&json_path).expect("write scaling json");
         println!("wrote {json_path}");
     }
 
@@ -201,4 +198,5 @@ fn main() {
             "check passed: gate-level route {secs:.2}s <= {CHECK_ROUTE_SECONDS}s threshold"
         );
     }
+    xbench::finish_trace(trace_path.as_deref());
 }

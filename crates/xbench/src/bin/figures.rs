@@ -22,10 +22,18 @@ use vcgra::VcgraArch;
 
 fn main() {
     let smoke = xbench::smoke_mode();
-    // First positional argument (flags excluded, any order) is out_dir.
-    let out_dir = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
+    let trace_path = xbench::init_trace();
+    // First positional argument (flags and their values excluded, any
+    // order) is out_dir. `--trace` takes a value, so its path must not
+    // be mistaken for the positional.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| {
+            !a.starts_with("--") && (i == 0 || args[i - 1] != "--trace")
+        })
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "out".to_string());
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let path = |name: &str| format!("{out_dir}/{name}");
@@ -75,4 +83,5 @@ fn main() {
         "kernels loaded: {} ({} coefficients programmed)",
         res.kernels_loaded, res.coefficients_programmed
     );
+    xbench::finish_trace(trace_path.as_deref());
 }

@@ -18,6 +18,7 @@ use xbench::{build_pe_aig_with, map_pe, print_header, print_row};
 
 fn main() {
     let smoke = xbench::smoke_mode();
+    let trace_path = xbench::init_trace();
     let fmt = if smoke { FpFormat::new(5, 10) } else { FpFormat::PAPER };
     println!(
         "Building and mapping the parameterized PE (format ({}, {})) ...",
@@ -108,4 +109,5 @@ fn main() {
         "0.251 ms/image",
         &format!("{per_image:.3} ms/image"),
     );
+    xbench::finish_trace(trace_path.as_deref());
 }

@@ -98,6 +98,14 @@ fn assert_bit_exact(rt: &mut Runtime, tenant: TenantId, items: usize, salt: u64)
 
 /// Phases 1–4 + ledger: the original mixed-tenant soak.
 fn soak(smoke: bool, verify_on_admit: bool, audit: bool, json: Option<&str>) {
+    // Per-wave latency histograms: cold/warm admission and streaming
+    // execution, recorded at the driver so each wave reads out its own
+    // p50/p95/p99 (the runtime's own `runtime.admit_ns` histogram pools
+    // both waves).
+    let lat = trace::Registry::new();
+    let cold_hist = lat.histogram("serve.cold_admit_ns");
+    let warm_hist = lat.histogram("serve.warm_admit_ns");
+    let exec_hist = lat.histogram("serve.execute_ns");
     let items_per_tenant = if smoke { 200 } else { 2000 };
     let mut lib = kernels::library(F);
     if !smoke {
@@ -159,6 +167,7 @@ fn soak(smoke: bool, verify_on_admit: bool, audit: bool, json: Option<&str>) {
         if !adm.cache_hit {
             cold_admits.push(adm.admit_time);
         }
+        cold_hist.record_duration(adm.admit_time);
         cold_ids.push(adm.tenant);
     }
     assert!(cold_admits.len() >= 4, "library must hold >= 4 distinct structures");
@@ -187,6 +196,7 @@ fn soak(smoke: bool, verify_on_admit: bool, audit: bool, json: Option<&str>) {
         );
         assert!(adm.cache_hit, "second wave must hit the configuration cache");
         warm_admits.push(adm.admit_time);
+        warm_hist.record_duration(adm.admit_time);
         warm_ids.push(adm.tenant);
         warm_graphs.push(graph);
     }
@@ -258,6 +268,7 @@ fn soak(smoke: bool, verify_on_admit: bool, audit: bool, json: Option<&str>) {
             );
         }
         total_items += run.items;
+        exec_hist.record_duration(run.exec_time);
         println!(
             "  {:<22} {:>7} {:>10} {:>12.0} {:>7} {:>6} {:>10}",
             name,
@@ -314,28 +325,38 @@ fn soak(smoke: bool, verify_on_admit: bool, audit: bool, json: Option<&str>) {
         rt.sig_memo_hits(),
         rt.sig_seconds_saved() * 1e3,
     );
+
+    // --- latency quantiles (per-wave driver histograms + the runtime's
+    //     own registry, which the ledger above is a view over) ---
+    println!("\n-- latency (log-linear histograms, per wave) --");
+    print!("{}", lat.render_table());
+    println!("\n-- runtime metrics registry (ledger source of truth) --");
+    print!("{}", rt.metrics().render_table());
+
     if let Some(path) = json {
-        let json = format!(
-            "{{\n  \"bench\": \"serve_soak\",\n  \"smoke\": {smoke},\n  \
-             \"verify_on_admit\": {verify_on_admit},\n  \
-             \"cold_compiles\": {},\n  \"warm_admissions\": {},\n  \
-             \"warm_speedup\": {speedup:.1},\n  \"cache_hit_rate\": {:.3},\n  \
-             \"swaps\": {},\n  \"sig_derivations\": {},\n  \
-             \"sig_derive_seconds\": {:.6},\n  \"sig_memo_hits\": {},\n  \
-             \"sig_audit_seconds_saved\": {:.6}\n}}\n",
-            led.cold_compiles,
-            led.warm_admissions,
-            cache.hit_rate(),
-            led.swaps,
-            led.sig_derivations,
-            led.sig_derive_time.as_secs_f64(),
-            rt.sig_memo_hits(),
-            rt.sig_seconds_saved(),
-        );
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            std::fs::create_dir_all(dir).expect("create output dir");
-        }
-        std::fs::write(path, json).expect("write serve json");
+        let record = xbench::bench::BenchRecord::new("serve_soak")
+            .field("smoke", smoke)
+            .field("verify_on_admit", verify_on_admit)
+            .field("cold_compiles", led.cold_compiles)
+            .field("warm_admissions", led.warm_admissions)
+            .field("warm_speedup", speedup)
+            .field("cache_hit_rate", cache.hit_rate())
+            .field("swaps", led.swaps)
+            .field("sig_derivations", led.sig_derivations)
+            .field("sig_derive_seconds", led.sig_derive_time.as_secs_f64())
+            .field("sig_memo_hits", rt.sig_memo_hits())
+            .field("sig_audit_seconds_saved", rt.sig_seconds_saved())
+            .raw(
+                "latency",
+                format!(
+                    "{{\n    \"cold_admit\": {},\n    \"warm_admit\": {},\n    \
+                     \"execute\": {}\n  }}",
+                    xbench::bench::latency_json(&cold_hist.snapshot()),
+                    xbench::bench::latency_json(&warm_hist.snapshot()),
+                    xbench::bench::latency_json(&exec_hist.snapshot()),
+                ),
+            );
+        record.write(path).expect("write serve json");
         println!("  wrote {path}");
     }
     println!("\nsoak OK: warm path {speedup:.0}x, all outputs bit-exact with run_dataflow.");
@@ -543,6 +564,7 @@ fn cache_wave(verify_on_admit: bool, audit: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = xbench::smoke_mode();
+    let trace_path = xbench::init_trace();
     let check = args.iter().any(|a| a == "--check");
     let verify_mode = args.iter().any(|a| a == "--verify");
     let only_queue = args.iter().any(|a| a == "--queue");
@@ -575,4 +597,5 @@ fn main() {
              scheduler invariants re-proven per wave."
         );
     }
+    xbench::finish_trace(trace_path.as_deref());
 }

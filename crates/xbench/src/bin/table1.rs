@@ -137,6 +137,7 @@ fn audit_flow(
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = xbench::smoke_mode();
+    let trace_path = xbench::init_trace();
     let skip_par = smoke || args.iter().any(|a| a == "--skip-par");
     let verify_mode = args.iter().any(|a| a == "--verify");
     let json_path = args
@@ -282,20 +283,22 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = format!(
-            "{{\n  \"bench\": \"table1\",\n  \"smoke\": {smoke},\n  \"format\": {{\"we\": {}, \"wf\": {}}},\n  \"flows\": {{\n    \"conventional\": {},\n    \"parameterized\": {}\n  }}\n}}\n",
-            fmt.we,
-            fmt.wf,
-            json_flow(&conv_flow),
-            json_flow(&par_flow)
-        );
-        if let Some(dir) = std::path::Path::new(&path).parent() {
-            std::fs::create_dir_all(dir).expect("create output dir");
-        }
-        std::fs::write(&path, json).expect("write json");
+        let record = xbench::bench::BenchRecord::new("table1")
+            .field("smoke", smoke)
+            .raw("format", format!("{{\"we\": {}, \"wf\": {}}}", fmt.we, fmt.wf))
+            .raw(
+                "flows",
+                format!(
+                    "{{\n    \"conventional\": {},\n    \"parameterized\": {}\n  }}",
+                    json_flow(&conv_flow),
+                    json_flow(&par_flow)
+                ),
+            );
+        record.write(&path).expect("write json");
         println!("\nwrote {path}");
     }
 
+    xbench::finish_trace(trace_path.as_deref());
     if violation_count > 0 {
         eprintln!("table1: {violation_count} invariant violations — failing the run");
         std::process::exit(1);

@@ -11,6 +11,7 @@ use vcgra::VcgraArch;
 use xbench::{print_header, print_row};
 
 fn main() {
+    let trace_path = xbench::init_trace();
     let grid = VcgraArch::paper_4x4();
     let conv = grid.resources(false);
     let par = grid.resources(true);
@@ -77,4 +78,5 @@ fn main() {
             res.inter_network_components_on_luts
         );
     }
+    xbench::finish_trace(trace_path.as_deref());
 }

@@ -152,6 +152,7 @@ fn sched_pass(fmt: FpFormat, reports: &mut Vec<verify::VerifyReport>) {
 
 fn main() {
     let smoke = xbench::smoke_mode();
+    let trace_path = xbench::init_trace();
     let fmt = if smoke { FpFormat::new(5, 10) } else { FpFormat::PAPER };
     println!(
         "=== vcgra-verify sweep ({} mode, FloPoCo ({},{})) ===",
@@ -183,5 +184,6 @@ fn main() {
         }
         std::process::exit(1);
     }
+    xbench::finish_trace(trace_path.as_deref());
     println!("verify OK: every invariant proven on every artifact kind.");
 }

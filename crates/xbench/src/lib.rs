@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![deny(clippy::dbg_macro, clippy::todo)]
 
+pub mod bench;
+
 use logic::aig::Aig;
 use mapping::{MapOptions, MappedDesign};
 use softfloat::FpFormat;
@@ -33,6 +35,32 @@ use vcgra::{VirtualPe, VirtualPeConfig};
 /// True when `--smoke` appears on the command line.
 pub fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke")
+}
+
+/// Parses `--trace <path>` and, when present, arms the global span
+/// recorder. Every driver calls this first thing in `main`, so
+/// instrumentation across the whole compile + serve stack records into
+/// one timeline. Pair with [`finish_trace`] before exit.
+pub fn init_trace() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a path").clone());
+    if path.is_some() {
+        trace::configure(trace::TraceConfig::On);
+    }
+    path
+}
+
+/// Drains the recorder into a Chrome trace-event JSON file (load it at
+/// `ui.perfetto.dev` or `chrome://tracing`). No-op when [`init_trace`]
+/// found no `--trace` flag.
+pub fn finish_trace(path: Option<&str>) {
+    if let Some(path) = path {
+        let events = trace::write_chrome_trace(path).expect("write trace file");
+        println!("wrote {path} ({events} trace events)");
+    }
 }
 
 /// A compact row printer for paper-vs-measured tables.

@@ -16,5 +16,6 @@ pub use par;
 pub use retina;
 pub use runtime;
 pub use softfloat;
+pub use trace;
 pub use vcgra;
 pub use verify;
