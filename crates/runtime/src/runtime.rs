@@ -404,6 +404,7 @@ impl Ledger {
 }
 
 /// One tenant's streaming request.
+#[derive(Debug, Clone)]
 pub struct StreamRequest {
     /// Target tenant.
     pub tenant: TenantId,

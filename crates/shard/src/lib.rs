@@ -1,0 +1,72 @@
+//! `vcgra-shard` — a sharded, cache-affine serving tier over
+//! [`runtime`](../runtime/index.html).
+//!
+//! PR 5 measured warm admission ~270× cheaper than a cold compile: the
+//! paper's economics (configuration is expensive to produce, cheap to
+//! replay) only pay off at scale if many tenants are served
+//! *concurrently*. `runtime::Runtime` is a single-threaded library driven
+//! by one synchronous `submit` loop; this crate is the front-end that
+//! turns it into a service:
+//!
+//! * [`server::ShardServer`] owns **N independent `Runtime` pools on
+//!   worker threads** (one shard = one grid pool + one configuration
+//!   cache + one FIFO request queue). Shards share nothing, so shard
+//!   throughput scales with worker threads and every per-shard invariant
+//!   the `verify` crate proves keeps holding verbatim.
+//! * [`route::Router`] is the **admission router**: requests are routed
+//!   by *cache affinity* — [`route::RouteKey`] hashes the graph's
+//!   *structure* (the same coefficients-excluded identity the runtime's
+//!   `ConfigKey` caches under), so structurally identical tenants land on
+//!   the shard whose cache already holds their compile. When the affine
+//!   shard's load runs ahead of the least-loaded shard by more than a
+//!   configured margin, the request **spills** to the least-loaded shard
+//!   (rebalancing costs at most one extra cold compile; stickiness keeps
+//!   the warm-hit rate high). The load signal is the caller's own
+//!   outstanding-ticket count, so routing is a pure function of the
+//!   caller's submit/collect order — deterministic, never a wall clock.
+//! * Per-shard queues are **bounded**: when a shard's queue is full,
+//!   dispatch returns [`server::Reject::QueueFull`] to the caller —
+//!   explicit backpressure, never a silent drop. Accepted work is never
+//!   discarded; [`server::ShardServer::drain`] waits for every queue to
+//!   empty (optionally re-proving each shard's scheduler invariants) and
+//!   [`server::ShardServer::shutdown`] joins the workers and returns
+//!   their final state.
+//! * [`loadgen`] is a **seeded, deterministic load generator**: the whole
+//!   workload (structures, coefficients, input streams, operation order)
+//!   is synthesized up front from a `SplitMix64` seed with no wall-clock
+//!   input, so two runs at one seed produce identical per-shard admission
+//!   orders and a bit-identical output fingerprint — across shard counts,
+//!   worker counts, and machines. `xbench serve --shards N` drives it and
+//!   records throughput and latency quantiles into
+//!   `BENCH_serve_shard.json`.
+//!
+//! Observability: the server's shared [`trace::Registry`] carries
+//! `shard.route`/`shard.spill`/`shard.reject` counters, per-shard
+//! `shard.<i>.queue_depth` gauges, and `shard.queue_wait_ns` /
+//! `shard.admit_ns` / `shard.execute_ns` latency histograms (aggregate
+//! and per shard); the span recorder sees a `shard.route` span per
+//! routing decision and a `shard.serve` span per request on the worker.
+//!
+//! Serving model in one table:
+//!
+//! | concern        | mechanism                                          |
+//! |----------------|----------------------------------------------------|
+//! | routing key    | structure hash (coefficients excluded), mod shards |
+//! | load balancing | spill to least-loaded when imbalance ≥ margin      |
+//! | backpressure   | bounded queue, `Reject::QueueFull` to the caller   |
+//! | ordering       | FIFO per shard (admission order = dispatch order)  |
+//! | drain          | barrier on empty queues + per-shard sched verify   |
+
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::todo)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod loadgen;
+pub mod route;
+pub mod server;
+
+pub use loadgen::{synthesize, LoadJob, LoadPlan, LoadReport, LoadSpec, WaveReport};
+pub use route::{RouteKey, RoutePick, Router};
+pub use server::{
+    DrainError, Reject, ShardConfig, ShardFinal, ShardServer, ShardStats, ShardTenant, Ticket,
+};

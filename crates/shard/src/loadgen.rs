@@ -1,0 +1,411 @@
+//! Seeded, deterministic load generation for the serving tier.
+//!
+//! The generator splits planning from driving. [`synthesize`] expands a
+//! [`LoadSpec`] into a complete [`LoadPlan`] — every graph, coefficient
+//! vector, and input stream — using only a `SplitMix64` stream, with no
+//! wall-clock input anywhere; [`run`] then drives the plan through a
+//! [`ShardServer`]. Because routing depends only on the caller's own
+//! submit/collect order (see [`crate::route`]) and each shard serves its
+//! queue FIFO, two runs of one plan produce **identical per-shard
+//! admission orders** and a **bit-identical output fingerprint** — the
+//! fingerprint is also invariant across shard counts and worker counts,
+//! since the engine's mapped execution is bit-exact with the reference
+//! dataflow interpreter regardless of where a tenant lands.
+//!
+//! Wave structure: wave 0 is an untimed **priming wave** (one tenant per
+//! library structure, paying the cold compiles); waves 1.. are the timed
+//! warm traffic the throughput figures come from. Each tenant's
+//! lifecycle is admit → stream → parameter swap → stream → release — the
+//! paper's "reconfigure cheaply, replay often" loop. Backpressure
+//! ([`Reject::QueueFull`]) is handled by retrying the same dispatch
+//! after a short sleep; retries are counted and reported but never
+//! change the dispatch order, so they are invisible to the fingerprint.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use logic::SplitMix64;
+use runtime::kernels::{fir_seeded, library};
+use runtime::StreamRequest;
+use softfloat::{FpFormat, FpValue};
+use vcgra::app::AppGraph;
+
+use crate::route::Fnv;
+use crate::server::{DrainError, Reject, ShardServer, ShardStats, ShardTenant, Ticket};
+
+/// What workload to synthesize.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// RNG seed; everything in the plan derives from it.
+    pub seed: u64,
+    /// Timed waves after the priming wave.
+    pub waves: usize,
+    /// Tenants admitted per timed wave.
+    pub tenants_per_wave: usize,
+    /// Input vectors streamed per tenant *per phase* (each tenant streams
+    /// twice: before and after its parameter swap).
+    pub items_per_tenant: usize,
+    /// Run the scheduler-state checker on every shard at the end of each
+    /// wave (and the final drain), failing on the first violation.
+    pub verify_each_wave: bool,
+    /// Retain every tenant's outputs in the report (for bit-exactness
+    /// cross-checks between shard counts); off for throughput runs.
+    pub keep_outputs: bool,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            seed: 0x5eed_cafe,
+            waves: 3,
+            tenants_per_wave: 8,
+            items_per_tenant: 32,
+            verify_each_wave: true,
+            keep_outputs: false,
+        }
+    }
+}
+
+/// One tenant's full scripted lifecycle.
+#[derive(Debug, Clone)]
+pub struct LoadJob {
+    /// Unique name (also the admission-log entry): `w<wave>.t<idx>.<kernel>`.
+    pub name: String,
+    /// The application graph (structure + initial coefficients).
+    pub graph: AppGraph,
+    /// Coefficients for the mid-life parameter swap (one per
+    /// coefficient-bearing node; empty if the kernel has none).
+    pub swap_coeffs: Vec<FpValue>,
+    /// Input vectors streamed in each phase.
+    pub inputs: Vec<Vec<FpValue>>,
+}
+
+/// A fully synthesized workload: `waves[0]` is the untimed priming wave.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// The seed the plan was synthesized from.
+    pub seed: u64,
+    /// Floating-point format of every graph and stream.
+    pub format: FpFormat,
+    /// Jobs per wave, in dispatch order.
+    pub waves: Vec<Vec<LoadJob>>,
+    /// Verify every shard at each wave boundary.
+    pub verify_each_wave: bool,
+    /// Retain outputs in the report.
+    pub keep_outputs: bool,
+}
+
+impl LoadPlan {
+    /// Total tenants across all waves (priming included).
+    pub fn tenants(&self) -> usize {
+        self.waves.iter().map(Vec::len).sum()
+    }
+}
+
+/// Per-wave accounting.
+#[derive(Debug, Clone)]
+pub struct WaveReport {
+    /// Wave index (0 = priming).
+    pub wave: usize,
+    /// Tenants driven through their full lifecycle.
+    pub jobs: usize,
+    /// Input vectors executed (both phases).
+    pub items: u64,
+    /// Wall time of the wave (dispatch through last release).
+    pub seconds: f64,
+    /// False only for the priming wave (excluded from throughput).
+    pub timed: bool,
+    /// Admissions diverted off their affine shard this wave
+    /// (deterministic: spilling reads only the caller's own
+    /// outstanding-ticket counts).
+    pub spills: u64,
+    /// `QueueFull` rejections absorbed by retry this wave (depends on
+    /// worker timing — reported, never fingerprinted).
+    pub retries: u64,
+}
+
+/// One tenant's retained outputs: phase-1 and phase-2 output vectors,
+/// one per input vector.
+pub type JobOutputs = [Vec<Vec<FpValue>>; 2];
+
+/// What a plan's run produced.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Shards the plan ran over.
+    pub shards: usize,
+    /// The plan's seed.
+    pub seed: u64,
+    /// Per-wave accounting, priming first.
+    pub waves: Vec<WaveReport>,
+    /// Items executed in *timed* waves.
+    pub total_items: u64,
+    /// Wall time of the timed waves.
+    pub timed_seconds: f64,
+    /// Items per second over the timed waves (the headline figure).
+    pub throughput: f64,
+    /// FNV-1a over every output bit in plan order — equal across runs,
+    /// shard counts, worker counts, and machines for one (seed, format).
+    pub fingerprint: u64,
+    /// Aggregate configuration-cache hits across shards.
+    pub warm_hits: u64,
+    /// Aggregate cache misses (cold compiles) across shards.
+    pub cold_misses: u64,
+    /// hits / (hits + misses) over all shards.
+    pub warm_hit_rate: f64,
+    /// Total spilled admissions.
+    pub spills: u64,
+    /// Total backpressure retries (timing-dependent).
+    pub retries: u64,
+    /// Final per-shard stats from the closing drain (includes each
+    /// shard's admission log).
+    pub shard_stats: Vec<ShardStats>,
+    /// Retained outputs by job name (when `keep_outputs`).
+    pub outputs: Option<BTreeMap<String, JobOutputs>>,
+}
+
+impl LoadReport {
+    /// Admission logs per shard (names in the order each worker admitted
+    /// them) — the determinism witness.
+    pub fn admission_orders(&self) -> Vec<&[String]> {
+        self.shard_stats.iter().map(|s| s.admission_order.as_slice()).collect()
+    }
+}
+
+fn fp_stream(rng: &mut SplitMix64, n: usize, format: FpFormat) -> Vec<FpValue> {
+    (0..n).map(|_| FpValue::from_f64(rng.unit_f64() * 4.0 - 2.0, format)).collect()
+}
+
+/// Expands a spec into a complete plan. Pure function of (format, spec):
+/// no wall clock, no host state.
+pub fn synthesize(format: FpFormat, spec: &LoadSpec) -> LoadPlan {
+    let mut rng = SplitMix64::new(spec.seed);
+    let lib = library(format);
+    let mut waves = Vec::with_capacity(spec.waves + 1);
+    // Priming wave: one tenant per library structure, so the timed waves
+    // run against warm caches on every affine shard.
+    let priming = lib
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let coeffs = w.graph.coeff_nodes().len();
+            LoadJob {
+                name: format!("w0.t{i}.{}", w.name),
+                graph: w.graph.clone(),
+                swap_coeffs: fp_stream(&mut rng, coeffs, format),
+                inputs: (0..spec.items_per_tenant)
+                    .map(|_| fp_stream(&mut rng, w.graph.num_inputs, format))
+                    .collect(),
+            }
+        })
+        .collect();
+    waves.push(priming);
+    for w in 1..=spec.waves {
+        let mut jobs = Vec::with_capacity(spec.tenants_per_wave);
+        for t in 0..spec.tenants_per_wave {
+            // Mostly warm traffic (library structures under fresh
+            // coefficients), salted with ~1-in-8 novel FIR structures so
+            // the cold path stays exercised mid-run.
+            let (kernel_name, graph) = if rng.below(8) == 0 {
+                let taps = 3 + rng.index(4);
+                let w = fir_seeded(format, taps, rng.next_u64());
+                (w.name, w.graph)
+            } else {
+                let w = &lib[rng.index(lib.len())];
+                let coeffs = w.graph.coeff_nodes().len();
+                let fresh = fp_stream(&mut rng, coeffs, format);
+                (w.name.clone(), w.graph.with_coeffs(&fresh))
+            };
+            let coeffs = graph.coeff_nodes().len();
+            jobs.push(LoadJob {
+                name: format!("w{w}.t{t}.{kernel_name}"),
+                swap_coeffs: fp_stream(&mut rng, coeffs, format),
+                inputs: (0..spec.items_per_tenant)
+                    .map(|_| fp_stream(&mut rng, graph.num_inputs, format))
+                    .collect(),
+                graph,
+            });
+        }
+        waves.push(jobs);
+    }
+    LoadPlan {
+        seed: spec.seed,
+        format,
+        waves,
+        verify_each_wave: spec.verify_each_wave,
+        keep_outputs: spec.keep_outputs,
+    }
+}
+
+/// Retries a dispatch until the shard accepts it, absorbing
+/// [`Reject::QueueFull`] backpressure with a short sleep. The retry
+/// targets the same dispatch (rejection has no side effects), so
+/// backpressure never perturbs dispatch order.
+fn with_backpressure<T>(mut dispatch: impl FnMut() -> Result<T, Reject>, retries: &mut u64) -> T {
+    loop {
+        match dispatch() {
+            Ok(t) => return t,
+            Err(Reject::QueueFull { .. }) => {
+                *retries += 1;
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+fn digest_outputs(fp: &mut Fnv, outputs: &[Vec<FpValue>]) {
+    fp.write(outputs.len() as u64);
+    for vector in outputs {
+        fp.write(vector.len() as u64);
+        for v in vector {
+            fp.write(v.bits);
+        }
+    }
+}
+
+/// Everything in flight for one job: the five tickets of its scripted
+/// lifecycle, dispatched back-to-back (FIFO per shard serializes them
+/// in order, so a tenant's release always precedes the next tenant's
+/// admission *on that shard* — at most one resident tenant per shard,
+/// which means placement never waits on capacity, while different
+/// shards pipeline different jobs concurrently).
+struct InFlight {
+    at: ShardTenant,
+    admit: Ticket<Result<runtime::Admission, runtime::RuntimeError>>,
+    run1: Ticket<Result<Vec<runtime::TenantRun>, runtime::RuntimeError>>,
+    swap: Ticket<Result<runtime::SwapReport, runtime::RuntimeError>>,
+    run2: Ticket<Result<Vec<runtime::TenantRun>, runtime::RuntimeError>>,
+    release: Ticket<Result<Vec<runtime::Admitted>, runtime::RuntimeError>>,
+}
+
+/// Drives a plan through a server: per wave, every job's full lifecycle
+/// (admit → stream → swap → stream → release) is dispatched without
+/// waiting — the server names the tenant at dispatch time — and the
+/// replies are collected once the wave is fully in flight. Then
+/// (optionally) every shard is verified. Returns the aggregated report;
+/// fails on the first invariant violation a wave-boundary verification
+/// finds.
+pub fn run(server: &mut ShardServer, plan: &LoadPlan) -> Result<LoadReport, DrainError> {
+    let mut fp = Fnv::new();
+    let mut wave_reports = Vec::with_capacity(plan.waves.len());
+    let mut total_items = 0u64;
+    let mut timed_seconds = 0.0f64;
+    let mut total_spills = 0u64;
+    let mut total_retries = 0u64;
+    let mut kept: BTreeMap<String, JobOutputs> = BTreeMap::new();
+
+    for (w, jobs) in plan.waves.iter().enumerate() {
+        let timed = w > 0;
+        let mut retries = 0u64;
+        let mut spills = 0u64;
+        let t0 = Instant::now();
+
+        // Dispatch every job's full lifecycle in plan order. Only the
+        // admission tickets carry routing load, and they stay open until
+        // the collection loop below, so the router sees load build up
+        // job-by-job within the wave and fall back to zero at the
+        // boundary — a pure function of this dispatch order.
+        let mut flights = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let (at, pick, admit) = with_backpressure(
+                || server.submit(job.name.clone(), job.graph.clone()),
+                &mut retries,
+            );
+            if matches!(pick, crate::route::RoutePick::Spilled { .. }) {
+                spills += 1;
+            }
+            let run1 = with_backpressure(
+                || {
+                    server.run(
+                        at.shard,
+                        vec![StreamRequest { tenant: at.tenant, inputs: job.inputs.clone() }],
+                    )
+                },
+                &mut retries,
+            );
+            let swap =
+                with_backpressure(|| server.swap_params(at, job.swap_coeffs.clone()), &mut retries);
+            let run2 = with_backpressure(
+                || {
+                    server.run(
+                        at.shard,
+                        vec![StreamRequest { tenant: at.tenant, inputs: job.inputs.clone() }],
+                    )
+                },
+                &mut retries,
+            );
+            let release = with_backpressure(|| server.release(at), &mut retries);
+            flights.push(InFlight { at, admit, run1, swap, run2, release });
+        }
+
+        // Collect in plan order (not completion order), so the digest is
+        // shard-count-invariant. Collecting the release replies doubles
+        // as the wave's completion barrier: replies are FIFO with the
+        // work.
+        let mut items = 0u64;
+        for (job, flight) in jobs.iter().zip(flights) {
+            let admission = flight.admit.wait().expect("admission failed");
+            assert_eq!(
+                admission.tenant(),
+                flight.at.tenant,
+                "tenant-id prediction broke: shard runtimes must assign ids in arrival order"
+            );
+            let out1 = flight
+                .run1
+                .wait()
+                .expect("phase-1 run failed")
+                .pop()
+                .expect("one tenant per run")
+                .outputs;
+            flight.swap.wait().expect("parameter swap failed");
+            let out2 = flight
+                .run2
+                .wait()
+                .expect("phase-2 run failed")
+                .pop()
+                .expect("one tenant per run")
+                .outputs;
+            flight.release.wait().expect("release failed");
+            items += (out1.len() + out2.len()) as u64;
+            digest_outputs(&mut fp, &out1);
+            digest_outputs(&mut fp, &out2);
+            if plan.keep_outputs {
+                kept.insert(job.name.clone(), [out1, out2]);
+            }
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+
+        if timed {
+            total_items += items;
+            timed_seconds += seconds;
+        }
+        total_spills += spills;
+        total_retries += retries;
+        wave_reports.push(WaveReport { wave: w, jobs: jobs.len(), items, seconds, timed, spills, retries });
+
+        // Wave boundary: prove every shard's scheduler invariants before
+        // the next wave starts (outside the timed window).
+        if plan.verify_each_wave {
+            server.drain(true)?;
+        }
+    }
+
+    let shard_stats = server.drain(plan.verify_each_wave)?;
+    let warm_hits: u64 = shard_stats.iter().map(|s| s.cache.hits).sum();
+    let cold_misses: u64 = shard_stats.iter().map(|s| s.cache.misses).sum();
+    Ok(LoadReport {
+        shards: server.shards(),
+        seed: plan.seed,
+        waves: wave_reports,
+        total_items,
+        timed_seconds,
+        throughput: total_items as f64 / timed_seconds.max(1e-12),
+        fingerprint: fp.finish(),
+        warm_hits,
+        cold_misses,
+        warm_hit_rate: warm_hits as f64 / ((warm_hits + cold_misses) as f64).max(1.0),
+        spills: total_spills,
+        retries: total_retries,
+        shard_stats,
+        outputs: plan.keep_outputs.then_some(kept),
+    })
+}

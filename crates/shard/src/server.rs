@@ -1,0 +1,595 @@
+//! The sharded front-end: N worker threads, each owning one [`Runtime`],
+//! fed by bounded FIFO queues with explicit backpressure.
+//!
+//! Request flow: the caller holds a [`ShardServer`] (`&mut self` — one
+//! dispatcher, the classic single-ingress front-end). Each operation is
+//! routed (admissions by [`RouteKey`] affinity, tenant-addressed
+//! operations to the tenant's home shard), wrapped in a typed request,
+//! and `try_send`-ed into the target shard's **bounded** queue. A full
+//! queue returns [`Reject::QueueFull`] immediately — the caller decides
+//! whether to retry, shed, or redirect; the server never silently drops
+//! accepted work. On success the caller gets a [`Ticket`]: a one-shot
+//! receiver for that operation's typed reply. Admission tickets double
+//! as the router's load signal — each open one counts one unit of
+//! outstanding work against its shard, decremented exactly once at
+//! [`Ticket::wait`] or drop.
+//!
+//! Workers drain their queue in strict FIFO order, so *per-shard
+//! admission order equals dispatch order* — the property the seeded
+//! load generator's determinism test pins down. Each worker records
+//! queue-wait / admit / execute latencies into shared histograms
+//! (aggregate and per-shard) and keeps an admission log for the
+//! determinism proof.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use runtime::{
+    Admission, Admitted, CacheStats, Ledger, Runtime, RuntimeConfig, RuntimeError, StreamRequest,
+    SwapReport, TenantId, TenantRun,
+};
+use softfloat::FpValue;
+use vcgra::app::AppGraph;
+
+use crate::route::{RouteKey, RoutePick, Router};
+
+/// Serving-tier construction parameters.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards (= worker threads = independent `Runtime`s).
+    pub shards: usize,
+    /// Per-shard runtime template (each shard gets its own clone, i.e.
+    /// its own grid pool and configuration cache).
+    pub runtime: RuntimeConfig,
+    /// Bounded queue depth per shard; a full queue rejects with
+    /// [`Reject::QueueFull`].
+    pub queue_depth: usize,
+    /// Router spill margin: divert from the affine shard when its
+    /// outstanding load runs ahead of the least-loaded shard by at least
+    /// this many tickets. `u64::MAX` disables spilling (pure affinity).
+    pub spill_margin: u64,
+}
+
+impl ShardConfig {
+    /// A config with `shards` shards and defaults everywhere else.
+    pub fn new(shards: usize) -> Self {
+        ShardConfig { shards, ..ShardConfig::default() }
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 2,
+            runtime: RuntimeConfig::default(),
+            queue_depth: 64,
+            spill_margin: 8,
+        }
+    }
+}
+
+/// Backpressure: why a dispatch was refused. The request was **not**
+/// enqueued; retrying later (or shedding) is the caller's decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// The target shard's bounded queue is at capacity.
+    QueueFull {
+        /// The shard whose queue was full.
+        shard: usize,
+        /// The queue's (fixed) capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for Reject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reject::QueueFull { shard, capacity } => {
+                write!(f, "shard {shard} queue full ({capacity} requests outstanding)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Reject {}
+
+/// A tenant's address in the tier: which shard owns it, and its id
+/// *within that shard's runtime* (tenant ids are per-shard, not global).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardTenant {
+    /// Owning shard.
+    pub shard: usize,
+    /// Tenant id inside that shard's `Runtime`.
+    pub tenant: TenantId,
+}
+
+/// One-shot receiver for a dispatched operation's reply. An *admission*
+/// ticket additionally counts one unit of outstanding load against its
+/// shard until it settles — exactly once, at [`Ticket::wait`] or drop —
+/// which is what makes the router's load signal a pure function of the
+/// caller's own submit/collect order. Tickets for the other operations
+/// carry no load (they follow an admission the router already charged).
+#[derive(Debug)]
+pub struct Ticket<T> {
+    rx: Receiver<T>,
+    load: Option<Arc<AtomicU64>>,
+    settled: bool,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the worker replies, releasing the outstanding-load
+    /// unit this ticket held.
+    ///
+    /// # Panics
+    /// If the shard worker exited without replying (a worker panic —
+    /// the tier's invariant is that accepted work is always answered).
+    pub fn wait(mut self) -> T {
+        let v = self.rx.recv().expect("shard worker exited without replying");
+        self.settle();
+        v
+    }
+
+    fn settle(&mut self) {
+        if !self.settled {
+            self.settled = true;
+            if let Some(load) = &self.load {
+                load.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+impl<T> Drop for Ticket<T> {
+    fn drop(&mut self) {
+        self.settle();
+    }
+}
+
+/// Point-in-time view of one shard (via [`ShardServer::stats`] or
+/// [`ShardServer::drain`]). Because replies are FIFO with the work, a
+/// stats reply proves every earlier request on that shard completed.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// The shard.
+    pub shard: usize,
+    /// The shard runtime's cost ledger.
+    pub ledger: Ledger,
+    /// The shard's configuration-cache counters.
+    pub cache: CacheStats,
+    /// Tenants currently resident (placed, not queued).
+    pub live_tenants: usize,
+    /// Tenants waiting in the runtime's internal admission queue.
+    pub queue_len: usize,
+    /// PE-utilization of the shard's grid pool.
+    pub utilization: f64,
+    /// Requests this worker has fully processed.
+    pub processed: u64,
+    /// Admission log: application names in the order the worker admitted
+    /// them (the determinism test's witness).
+    pub admission_order: Vec<String>,
+}
+
+/// A shard's final state, returned by [`ShardServer::shutdown`].
+#[derive(Debug)]
+pub struct ShardFinal {
+    /// The shard.
+    pub shard: usize,
+    /// Final cost ledger.
+    pub ledger: Ledger,
+    /// Final cache counters.
+    pub cache: CacheStats,
+    /// Total requests processed over the shard's lifetime.
+    pub processed: u64,
+    /// Full admission log.
+    pub admission_order: Vec<String>,
+    /// Closing scheduler-state verification of the shard's runtime.
+    pub verify: verify::VerifyReport,
+}
+
+/// Why a drain failed. Accepted work still completed — drain only
+/// reports, it never cancels.
+#[derive(Debug)]
+pub enum DrainError {
+    /// A shard's scheduler-state verification found a violation.
+    Invariant {
+        /// The offending shard.
+        shard: usize,
+        /// The failing report (violations are non-empty).
+        report: verify::VerifyReport,
+    },
+}
+
+impl fmt::Display for DrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrainError::Invariant { shard, report } => {
+                write!(f, "shard {shard} failed verification: {}", report.summary())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DrainError {}
+
+/// Typed operations a worker serves. Every variant carries its own
+/// reply channel, so callers get back exactly the type the underlying
+/// `Runtime` method returns — no downcasting, no stringly results.
+enum Op {
+    Admit { name: String, graph: AppGraph, reply: Sender<Result<Admission, RuntimeError>> },
+    Swap { tenant: TenantId, coeffs: Vec<FpValue>, reply: Sender<Result<SwapReport, RuntimeError>> },
+    Run { requests: Vec<StreamRequest>, reply: Sender<Result<Vec<TenantRun>, RuntimeError>> },
+    Release { tenant: TenantId, reply: Sender<Result<Vec<Admitted>, RuntimeError>> },
+    Verify { reply: Sender<verify::VerifyReport> },
+    Stats { reply: Sender<ShardStats> },
+}
+
+impl Op {
+    fn kind(&self) -> &'static str {
+        match self {
+            Op::Admit { .. } => "admit",
+            Op::Swap { .. } => "swap",
+            Op::Run { .. } => "run",
+            Op::Release { .. } => "release",
+            Op::Verify { .. } => "verify",
+            Op::Stats { .. } => "stats",
+        }
+    }
+}
+
+struct Request {
+    id: u64,
+    enqueued: Instant,
+    op: Op,
+}
+
+/// The serving tier: router + bounded queues + worker threads.
+pub struct ShardServer {
+    router: Router,
+    queues: Vec<SyncSender<Request>>,
+    workers: Vec<JoinHandle<ShardFinal>>,
+    registry: Arc<trace::Registry>,
+    queue_depth: usize,
+    next_id: u64,
+    /// Admissions dispatched per shard. Because each shard serves its
+    /// queue FIFO and its `Runtime` assigns tenant ids in arrival order
+    /// starting at 0, the k-th admission dispatched to a shard is tenant
+    /// k — so [`ShardServer::submit`] can name the tenant at dispatch
+    /// time, before the worker replies, and callers can pipeline a
+    /// tenant's whole lifecycle without a round-trip per step.
+    submitted: Vec<u64>,
+    routed: trace::Counter,
+    spilled: trace::Counter,
+    rejected: trace::Counter,
+    depth: Vec<trace::Gauge>,
+}
+
+impl ShardServer {
+    /// Starts `cfg.shards` workers, each owning a fresh `Runtime` built
+    /// from the config's runtime template.
+    pub fn start(cfg: ShardConfig) -> Self {
+        assert!(cfg.shards > 0, "serving tier needs at least one shard");
+        assert!(cfg.queue_depth > 0, "queue depth must be positive");
+        let registry = Arc::new(trace::Registry::new());
+        let mut queues = Vec::with_capacity(cfg.shards);
+        let mut workers = Vec::with_capacity(cfg.shards);
+        let mut depth = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Request>(cfg.queue_depth);
+            let rt_cfg = cfg.runtime.clone();
+            let reg = Arc::clone(&registry);
+            let gauge = registry.gauge(&format!("shard.{shard}.queue_depth"));
+            let worker_gauge = gauge.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("shard-{shard}"))
+                .spawn(move || worker_loop(shard, rx, rt_cfg, reg, worker_gauge))
+                .expect("spawn shard worker");
+            queues.push(tx);
+            workers.push(handle);
+            depth.push(gauge);
+        }
+        ShardServer {
+            router: Router::new(cfg.shards, cfg.spill_margin),
+            queues,
+            workers,
+            routed: registry.counter("shard.route"),
+            spilled: registry.counter("shard.spill"),
+            rejected: registry.counter("shard.reject"),
+            registry,
+            queue_depth: cfg.queue_depth,
+            next_id: 0,
+            submitted: vec![0; cfg.shards],
+            depth,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The tier's metrics registry (`shard.*` cells live here; workers
+    /// also record their latency histograms into it).
+    pub fn metrics(&self) -> &trace::Registry {
+        &self.registry
+    }
+
+    /// Current outstanding-ticket count per shard (the router's load
+    /// signal).
+    pub fn loads(&self) -> Vec<u64> {
+        self.router.loads()
+    }
+
+    /// The routing key an admission of `graph` would be routed by.
+    pub fn route_key(&self, graph: &AppGraph) -> RouteKey {
+        RouteKey::of(graph)
+    }
+
+    /// Routes and dispatches an admission. Returns the tenant's address
+    /// (shard + the tenant id the shard's runtime will assign — known at
+    /// dispatch time, see [`ShardServer::submit`]'s field note on
+    /// `submitted`), why the shard was chosen, and a ticket for the
+    /// admission report — or [`Reject::QueueFull`] if the chosen shard's
+    /// queue is at capacity (nothing was enqueued; the route decision
+    /// itself has no side effect on load, so an immediate retry targets
+    /// the same shard).
+    #[allow(clippy::type_complexity)]
+    pub fn submit(
+        &mut self,
+        name: impl Into<String>,
+        graph: AppGraph,
+    ) -> Result<(ShardTenant, RoutePick, Ticket<Result<Admission, RuntimeError>>), Reject> {
+        let key = RouteKey::of(&graph);
+        let (shard, pick) = self.router.route(key);
+        let mut span = trace::span("shard.route");
+        span.arg("key", key.hash());
+        span.arg("shard", shard as u64);
+        span.arg("spilled", matches!(pick, RoutePick::Spilled { .. }));
+        self.routed.inc();
+        if let RoutePick::Spilled { from } = pick {
+            self.spilled.inc();
+            trace::instant("shard.spill", vec![("from", (from as u64).into()), ("to", (shard as u64).into())]);
+        }
+        let (tx, rx) = channel();
+        self.dispatch(shard, Op::Admit { name: name.into(), graph, reply: tx })?;
+        let tenant = self.submitted[shard];
+        self.submitted[shard] += 1;
+        Ok((ShardTenant { shard, tenant }, pick, self.ticket(shard, rx)))
+    }
+
+    /// Dispatches a parameter swap to the tenant's home shard.
+    pub fn swap_params(
+        &mut self,
+        at: ShardTenant,
+        coeffs: Vec<FpValue>,
+    ) -> Result<Ticket<Result<SwapReport, RuntimeError>>, Reject> {
+        let (tx, rx) = channel();
+        self.dispatch(at.shard, Op::Swap { tenant: at.tenant, coeffs, reply: tx })?;
+        Ok(self.ticket_unloaded(rx))
+    }
+
+    /// Dispatches a streaming run to one shard. The requests' tenant ids
+    /// are per-shard — they must all belong to `shard`.
+    #[allow(clippy::type_complexity)]
+    pub fn run(
+        &mut self,
+        shard: usize,
+        requests: Vec<StreamRequest>,
+    ) -> Result<Ticket<Result<Vec<TenantRun>, RuntimeError>>, Reject> {
+        let (tx, rx) = channel();
+        self.dispatch(shard, Op::Run { requests, reply: tx })?;
+        Ok(self.ticket_unloaded(rx))
+    }
+
+    /// Dispatches a release of one tenant (or cancellation of its queued
+    /// admission) to its home shard.
+    #[allow(clippy::type_complexity)]
+    pub fn release(
+        &mut self,
+        at: ShardTenant,
+    ) -> Result<Ticket<Result<Vec<Admitted>, RuntimeError>>, Reject> {
+        let (tx, rx) = channel();
+        self.dispatch(at.shard, Op::Release { tenant: at.tenant, reply: tx })?;
+        Ok(self.ticket_unloaded(rx))
+    }
+
+    /// Dispatches a scheduler-state verification of one shard's runtime.
+    pub fn verify_shard(&mut self, shard: usize) -> Result<Ticket<verify::VerifyReport>, Reject> {
+        let (tx, rx) = channel();
+        self.dispatch(shard, Op::Verify { reply: tx })?;
+        Ok(self.ticket_unloaded(rx))
+    }
+
+    /// Dispatches a stats snapshot request to one shard.
+    pub fn stats(&mut self, shard: usize) -> Result<Ticket<ShardStats>, Reject> {
+        let (tx, rx) = channel();
+        self.dispatch(shard, Op::Stats { reply: tx })?;
+        Ok(self.ticket_unloaded(rx))
+    }
+
+    /// Waits until every shard has served everything dispatched before
+    /// this call (replies are FIFO with the work, so one synchronous
+    /// round-trip per shard is a completion barrier). With `verify`, runs
+    /// the scheduler-state checker on each shard first and fails on the
+    /// first [`verify::Violation`] — the check the soak runs every wave.
+    /// Uses blocking sends, so drain itself is never rejected.
+    pub fn drain(&mut self, verify: bool) -> Result<Vec<ShardStats>, DrainError> {
+        let mut out = Vec::with_capacity(self.shards());
+        for shard in 0..self.shards() {
+            if verify {
+                let (tx, rx) = channel();
+                self.send_blocking(shard, Op::Verify { reply: tx });
+                let report = rx.recv().expect("shard worker exited during drain");
+                if !report.ok() {
+                    return Err(DrainError::Invariant { shard, report });
+                }
+            }
+            let (tx, rx) = channel();
+            self.send_blocking(shard, Op::Stats { reply: tx });
+            out.push(rx.recv().expect("shard worker exited during drain"));
+        }
+        Ok(out)
+    }
+
+    /// Graceful shutdown: closes every queue, joins every worker, and
+    /// returns their final state (each including a closing verification
+    /// of its runtime). Work already accepted completes first.
+    pub fn shutdown(self) -> Vec<ShardFinal> {
+        let ShardServer { queues, workers, .. } = self;
+        drop(queues);
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect()
+    }
+
+    /// Enqueues `op` on `shard`, refusing (without side effects) when the
+    /// bounded queue is full. Request ids advance only on acceptance, so
+    /// a rejected-then-retried operation keeps one id.
+    fn dispatch(&mut self, shard: usize, op: Op) -> Result<(), Reject> {
+        let kind = op.kind();
+        let req = Request { id: self.next_id, enqueued: Instant::now(), op };
+        match self.queues[shard].try_send(req) {
+            Ok(()) => {
+                self.next_id += 1;
+                self.depth[shard].add(1);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.rejected.inc();
+                trace::instant(
+                    "shard.reject",
+                    vec![("shard", (shard as u64).into()), ("op", kind.into())],
+                );
+                Err(Reject::QueueFull { shard, capacity: self.queue_depth })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                panic!("shard {shard} worker exited while the server was live")
+            }
+        }
+    }
+
+    /// Blocking variant for drain: waits for queue space instead of
+    /// rejecting.
+    fn send_blocking(&mut self, shard: usize, op: Op) {
+        let req = Request { id: self.next_id, enqueued: Instant::now(), op };
+        self.next_id += 1;
+        self.depth[shard].add(1);
+        self.queues[shard]
+            .send(req)
+            .unwrap_or_else(|_| panic!("shard {shard} worker exited while the server was live"));
+    }
+
+    /// Wraps an admission's reply receiver into a ticket, charging one
+    /// unit of outstanding load to `shard` until the ticket settles.
+    fn ticket<T>(&self, shard: usize, rx: Receiver<T>) -> Ticket<T> {
+        let load = self.router.load_cell(shard);
+        load.fetch_add(1, Ordering::SeqCst);
+        Ticket { rx, load: Some(load), settled: false }
+    }
+
+    /// A ticket that carries no routing load (every operation other than
+    /// admission — the admission already charged its shard).
+    fn ticket_unloaded<T>(&self, rx: Receiver<T>) -> Ticket<T> {
+        Ticket { rx, load: None, settled: false }
+    }
+}
+
+/// One shard's worker: owns the runtime, serves its queue FIFO, records
+/// latency into the shared registry, and returns its final state when
+/// the server closes the queue.
+fn worker_loop(
+    shard: usize,
+    rx: Receiver<Request>,
+    rt_cfg: RuntimeConfig,
+    registry: Arc<trace::Registry>,
+    depth: trace::Gauge,
+) -> ShardFinal {
+    let mut rt = Runtime::new(rt_cfg);
+    let queue_wait = registry.histogram("shard.queue_wait_ns");
+    let queue_wait_local = registry.histogram(&format!("shard.{shard}.queue_wait_ns"));
+    let admit_ns = registry.histogram("shard.admit_ns");
+    let admit_local = registry.histogram(&format!("shard.{shard}.admit_ns"));
+    let execute_ns = registry.histogram("shard.execute_ns");
+    let execute_local = registry.histogram(&format!("shard.{shard}.execute_ns"));
+    let mut processed = 0u64;
+    let mut admission_order: Vec<String> = Vec::new();
+    while let Ok(req) = rx.recv() {
+        depth.add(-1);
+        let wait = req.enqueued.elapsed();
+        queue_wait.record_duration(wait);
+        queue_wait_local.record_duration(wait);
+        trace::instant(
+            "shard.queue_wait",
+            vec![
+                ("shard", (shard as u64).into()),
+                ("id", req.id.into()),
+                ("wait_ns", (wait.as_nanos() as u64).into()),
+            ],
+        );
+        let mut span = trace::span("shard.serve");
+        span.arg("shard", shard as u64);
+        span.arg("id", req.id);
+        span.arg("op", req.op.kind());
+        match req.op {
+            Op::Admit { name, graph, reply } => {
+                admission_order.push(name.clone());
+                let t0 = Instant::now();
+                let result = rt.submit(name, graph);
+                let dt = t0.elapsed();
+                admit_ns.record_duration(dt);
+                admit_local.record_duration(dt);
+                let _ = reply.send(result);
+            }
+            Op::Swap { tenant, coeffs, reply } => {
+                let t0 = Instant::now();
+                let result = rt.swap_params(tenant, &coeffs);
+                let dt = t0.elapsed();
+                admit_ns.record_duration(dt);
+                admit_local.record_duration(dt);
+                let _ = reply.send(result);
+            }
+            Op::Run { requests, reply } => {
+                let t0 = Instant::now();
+                let result = rt.run(requests);
+                let dt = t0.elapsed();
+                execute_ns.record_duration(dt);
+                execute_local.record_duration(dt);
+                let _ = reply.send(result);
+            }
+            Op::Release { tenant, reply } => {
+                let _ = reply.send(rt.release(tenant));
+            }
+            Op::Verify { reply } => {
+                let _ = reply.send(rt.verify());
+            }
+            Op::Stats { reply } => {
+                let _ = reply.send(ShardStats {
+                    shard,
+                    ledger: *rt.ledger(),
+                    cache: rt.cache_stats(),
+                    live_tenants: rt.tenants().count(),
+                    queue_len: rt.queue_len(),
+                    utilization: rt.utilization(),
+                    processed: processed + 1,
+                    admission_order: admission_order.clone(),
+                });
+            }
+        }
+        processed += 1;
+    }
+    // Queue closed: graceful shutdown. Verify the runtime one last time
+    // so every shard's invariants are proven at the moment it stops.
+    let verify = rt.verify();
+    ShardFinal {
+        shard,
+        ledger: *rt.ledger(),
+        cache: rt.cache_stats(),
+        processed,
+        admission_order,
+        verify,
+    }
+}

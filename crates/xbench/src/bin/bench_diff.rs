@@ -10,10 +10,23 @@
 //!   of silently narrowing the comparison;
 //! - numeric leaves must agree within a relative tolerance (default
 //!   ±20%), **except** machine-varying time measurements (`*_seconds`,
-//!   `*_time`, `*_ns`, `*_ms`, speedups), which are skipped — the gate
-//!   guards counters and structural results, not wall clocks;
+//!   `*_time`, `*_ns`, `*_ms`, speedups, throughputs), which are
+//!   skipped — the gate guards counters and structural results, not
+//!   wall clocks;
 //! - the `provenance` subtree is compared for shape only (its values
-//!   differ per host/revision by design).
+//!   differ per host/revision by design);
+//! - records carrying a top-level `shards` field (the sharded serve
+//!   bench) are only held to their shard-count-dependent leaves — the
+//!   `shards` leaf and the whole `sharded.*` subtree — when the
+//!   candidate ran at the **same** shard count as the baseline. At a
+//!   different count those leaves legitimately change shape (per-shard
+//!   arrays) and value (spill/warm counts), so both checks skip them;
+//!   everything else (the deterministic plan counts, the output
+//!   fingerprint) is still compared, which is exactly the sharding
+//!   contract: shard count may move latency, never results. The
+//!   `workers` leaf gets the same treatment when the engine-worker
+//!   counts differ (CI's shards x workers matrix shares one baseline;
+//!   worker count never changes results either).
 //!
 //! Usage: `cargo run -p xbench --bin bench_diff -- <baseline.json>
 //!         <candidate.json> [--tolerance 0.20]`
@@ -28,6 +41,24 @@ fn time_like(key: &str) -> bool {
         || key.contains("seconds")
         || key.contains("time")
         || key.contains("speedup")
+        || key.contains("per_sec")
+        || key.contains("throughput")
+}
+
+/// True for leaf paths that depend on the shard count: the count itself
+/// and everything under the `sharded` subtree (per-shard arrays, spill
+/// and warm-hit counters). Compared only when baseline and candidate ran
+/// at the same shard count.
+fn shard_scoped(path: &str) -> bool {
+    path == "shards" || path == "sharded" || path.starts_with("sharded.")
+}
+
+/// Reads a top-level numeric field, if the record has one.
+fn top_num(record: &JsonValue, key: &str) -> Option<f64> {
+    match record.get(key) {
+        Some(JsonValue::Num(n)) => Some(*n),
+        _ => None,
+    }
 }
 
 /// Flattens a record into `path -> leaf` rows, `.`-joined object keys,
@@ -85,16 +116,54 @@ fn main() {
         }
     }
 
+    // Shard-count gate: when the candidate ran at a different shard
+    // count than the baseline, shard-count-dependent leaves are expected
+    // to differ in both shape and value — exclude them from the gate.
+    // Same for the engine-worker count: CI's shards x workers matrix
+    // compares every cell against one committed baseline, and worker
+    // count changes nothing deterministic (execution is bit-exact across
+    // worker counts) except the `workers` leaf itself.
+    let differs = |key: &str| match (top_num(&base, key), top_num(&cand, key)) {
+        (Some(b), Some(c)) => b != c,
+        _ => false,
+    };
+    let shards_differ = differs("shards");
+    let workers_differ = differs("workers");
+    if shards_differ {
+        println!(
+            "bench_diff: shard counts differ ({:?} vs {:?}); \"shards\" and the \
+             \"sharded.*\" subtree are exempt from shape and value checks",
+            top_num(&base, "shards"),
+            top_num(&cand, "shards")
+        );
+    }
+    if workers_differ {
+        println!(
+            "bench_diff: worker counts differ ({:?} vs {:?}); the \"workers\" leaf \
+             is exempt from the value check",
+            top_num(&base, "workers"),
+            top_num(&cand, "workers")
+        );
+    }
+    let scoped_out =
+        |path: &str| (shards_differ && shard_scoped(path)) || (workers_differ && path == "workers");
+
     let mut base_leaves = Vec::new();
     let mut cand_leaves = Vec::new();
     flatten(&base, String::new(), &mut base_leaves);
     flatten(&cand, String::new(), &mut cand_leaves);
 
     // Shape: identical leaf-path sets (schema drift check).
-    let base_paths: std::collections::BTreeSet<&str> =
-        base_leaves.iter().map(|(p, _)| p.as_str()).collect();
-    let cand_paths: std::collections::BTreeSet<&str> =
-        cand_leaves.iter().map(|(p, _)| p.as_str()).collect();
+    let base_paths: std::collections::BTreeSet<&str> = base_leaves
+        .iter()
+        .map(|(p, _)| p.as_str())
+        .filter(|p| !scoped_out(p))
+        .collect();
+    let cand_paths: std::collections::BTreeSet<&str> = cand_leaves
+        .iter()
+        .map(|(p, _)| p.as_str())
+        .filter(|p| !scoped_out(p))
+        .collect();
     for missing in base_paths.difference(&cand_paths) {
         failures.push(format!("schema drift: \"{missing}\" present in baseline, absent in candidate"));
     }
@@ -109,6 +178,9 @@ fn main() {
     let (mut compared, mut skipped) = (0usize, 0usize);
     for (path, bval) in &base_leaves {
         let Some(cval) = cand_by_path.get(path.as_str()) else { continue };
+        if scoped_out(path) {
+            continue;
+        }
         if path.starts_with("provenance.") || time_like(path) {
             skipped += 1;
             continue;

@@ -31,10 +31,16 @@
 //! any scheduler-wave assertion fires.
 //!
 //! Usage: `cargo run -p xbench --release --bin serve [--smoke] [--queue]
-//! [--compact] [--check] [--verify] [--json <path>]`
+//! [--compact] [--check] [--verify] [--shards N] [--workers W]
+//! [--json <path>]`
 //!
 //! `--queue` / `--compact` select just that scheduler wave; `--check`
 //! (CI's queue-regression gate) runs everything regardless of selection.
+//! `--shards N` runs the **sharded serving tier** bench instead: a
+//! seeded deterministic load plan (`vcgra-shard`'s generator) driven
+//! through N cache-affine shards, cross-checked for bit-exactness
+//! against the same plan on a single-runtime tier, with per-shard and
+//! aggregate admit/execute/queue-wait quantiles in the JSON record.
 //! `--verify` turns on `verify_on_admit` (every mutating runtime
 //! operation re-proves the scheduler invariants before returning) and a
 //! final `vcgra-verify` sched pass per wave. `--check` implies the final
@@ -561,6 +567,211 @@ fn cache_wave(verify_on_admit: bool, audit: bool) {
     );
 }
 
+/// The sharded serving tier (`--shards N`): drives one seeded load plan
+/// through an N-shard tier and — when N > 1 — through a single-runtime
+/// tier as the reference soak, then requires the two output fingerprints
+/// to be bit-identical. Warm-hit floor (>= 33%), per-shard invariant
+/// verification at every wave boundary, and the >= 3x warm-traffic
+/// scaling requirement (asserted only where the host has the cores to
+/// show it) all live here.
+fn shard_bench(shards: usize, workers: Option<usize>, smoke: bool, verify_mode: bool, json: Option<&str>) {
+    use shard::{LoadSpec, ShardConfig, ShardServer};
+
+    let mut rt_cfg = RuntimeConfig { verify_on_admit: verify_mode, ..RuntimeConfig::default() };
+    if let Some(w) = workers {
+        rt_cfg.workers = w;
+    }
+    let spec = LoadSpec {
+        waves: if smoke { 2 } else { 4 },
+        tenants_per_wave: if smoke { 8 } else { 24 },
+        items_per_tenant: if smoke { 8 } else { 64 },
+        ..LoadSpec::default()
+    };
+    let plan = shard::synthesize(F, &spec);
+    let cfg_for = |n: usize| ShardConfig { runtime: rt_cfg.clone(), ..ShardConfig::new(n) };
+
+    println!("=== sharded serving tier: {shards} shard(s), {} engine worker(s)/shard ===", rt_cfg.workers);
+    println!(
+        "plan: seed {:#x}, {} tenants ({} priming + {} waves x {}), {} items/tenant/phase",
+        spec.seed,
+        plan.tenants(),
+        plan.waves[0].len(),
+        spec.waves,
+        spec.tenants_per_wave,
+        spec.items_per_tenant,
+    );
+
+    // Reference single-runtime soak: same plan, one shard. Its output
+    // fingerprint is the bit-exactness witness for the sharded run, and
+    // its throughput is the scaling baseline.
+    let reference = (shards > 1).then(|| {
+        let mut single = ShardServer::start(cfg_for(1));
+        let rep = shard::loadgen::run(&mut single, &plan)
+            .unwrap_or_else(|e| panic!("single-shard reference failed: {e}"));
+        for fin in single.shutdown() {
+            assert!(fin.verify.ok(), "reference shard invariants");
+        }
+        println!(
+            "reference (1 shard): {:.0} items/s over {} timed items, warm rate {:.0}%",
+            rep.throughput,
+            rep.total_items,
+            rep.warm_hit_rate * 100.0,
+        );
+        rep
+    });
+
+    let mut server = ShardServer::start(cfg_for(shards));
+    let report = shard::loadgen::run(&mut server, &plan)
+        .unwrap_or_else(|e| panic!("sharded run failed: {e}"));
+
+    println!("\n-- waves (wave 0 primes the caches, untimed) --");
+    println!("  {:<6} {:>6} {:>8} {:>12} {:>12} {:>7} {:>8}", "wave", "jobs", "items", "wall", "items/s", "spills", "retries");
+    for w in &report.waves {
+        println!(
+            "  {:<6} {:>6} {:>8} {:>12} {:>12.0} {:>7} {:>8}",
+            if w.timed { format!("w{}", w.wave) } else { format!("w{}*", w.wave) },
+            w.jobs,
+            w.items,
+            ms(Duration::from_secs_f64(w.seconds)),
+            w.items as f64 / w.seconds.max(1e-12),
+            w.spills,
+            w.retries,
+        );
+    }
+
+    // Latency quantiles come off the tier's registry: aggregate cells
+    // plus the per-shard `shard.<i>.*` cells the workers record into.
+    let reg = server.metrics();
+    let pct = |name: &str| {
+        let s = reg.histogram(name).snapshot();
+        (s.count, us(Duration::from_nanos(s.p50())), us(Duration::from_nanos(s.p95())), us(Duration::from_nanos(s.p99())))
+    };
+    println!("\n-- latency (p50 / p95 / p99) --");
+    println!("  {:<22} {:>8} {:>12} {:>12} {:>12}", "cell", "count", "p50", "p95", "p99");
+    for name in ["shard.queue_wait_ns", "shard.admit_ns", "shard.execute_ns"] {
+        let (n, p50, p95, p99) = pct(name);
+        println!("  {:<22} {:>8} {:>12} {:>12} {:>12}", name, n, p50, p95, p99);
+    }
+    let mut per_shard_json = Vec::with_capacity(shards);
+    for s in &report.shard_stats {
+        let i = s.shard;
+        let (_, a50, a95, a99) = pct(&format!("shard.{i}.admit_ns"));
+        let (_, e50, e95, e99) = pct(&format!("shard.{i}.execute_ns"));
+        println!(
+            "  shard {i}: {} reqs, {} admits ({} warm), util {:.0}%, admit p50/p95/p99 {a50}/{a95}/{a99}, exec {e50}/{e95}/{e99}",
+            s.processed,
+            s.admission_order.len(),
+            s.cache.hits,
+            s.utilization * 100.0,
+        );
+        per_shard_json.push(format!(
+            "{{\"processed\": {}, \"admissions\": {}, \"queue_wait\": {}, \"admit\": {}, \"execute\": {}}}",
+            s.processed,
+            s.admission_order.len(),
+            xbench::bench::latency_json(&reg.histogram(&format!("shard.{i}.queue_wait_ns")).snapshot()),
+            xbench::bench::latency_json(&reg.histogram(&format!("shard.{i}.admit_ns")).snapshot()),
+            xbench::bench::latency_json(&reg.histogram(&format!("shard.{i}.execute_ns")).snapshot()),
+        ));
+    }
+    let agg_wait = reg.histogram("shard.queue_wait_ns").snapshot();
+    let agg_admit = reg.histogram("shard.admit_ns").snapshot();
+    let agg_exec = reg.histogram("shard.execute_ns").snapshot();
+    let (routed, spilled, rejected) = (
+        reg.counter_value("shard.route"),
+        reg.counter_value("shard.spill"),
+        reg.counter_value("shard.reject"),
+    );
+
+    for fin in server.shutdown() {
+        assert!(fin.verify.ok(), "shard {} invariants at shutdown", fin.shard);
+    }
+
+    println!(
+        "\n  routed {routed} ({spilled} spilled), {rejected} rejections absorbed by retry, \
+         cache {} hits / {} misses ({:.0}% warm)",
+        report.warm_hits,
+        report.cold_misses,
+        report.warm_hit_rate * 100.0,
+    );
+    println!(
+        "  {} timed items in {} -> {:.0} items/s, fingerprint {:016x}",
+        report.total_items,
+        ms(Duration::from_secs_f64(report.timed_seconds)),
+        report.throughput,
+        report.fingerprint,
+    );
+    assert!(
+        report.warm_hit_rate >= 1.0 / 3.0,
+        "warm-hit rate {:.2} below the 33% floor — affinity routing is not keeping caches warm",
+        report.warm_hit_rate
+    );
+
+    let mut speedup = None;
+    if let Some(ref single) = reference {
+        assert_eq!(
+            report.fingerprint, single.fingerprint,
+            "sharded outputs must be bit-exact with the single-runtime soak"
+        );
+        let x = report.throughput / single.throughput.max(1e-12);
+        speedup = Some(x);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        println!("  speedup over 1 shard: {x:.2}x ({cores} host cores), outputs bit-exact");
+        if shards >= 8 && cores >= shards {
+            assert!(
+                x >= 3.0,
+                "{shards} shards on {cores} cores must sustain >= 3x the single-shard \
+                 warm-traffic throughput, got {x:.2}x"
+            );
+        } else {
+            println!(
+                "  (scaling assertion needs >= 8 shards and as many host cores; \
+                 advisory only here)"
+            );
+        }
+    }
+
+    if let Some(path) = json {
+        let mut sharded = format!(
+            "{{\n    \"spills\": {},\n    \"warm_hits\": {},\n    \"cold_misses\": {},\n    \
+             \"warm_hit_rate\": {:.6},\n    \"latency\": {{\n      \"queue_wait\": {},\n      \
+             \"admit\": {},\n      \"execute\": {}\n    }},\n    \"per_shard\": [{}]",
+            report.spills,
+            report.warm_hits,
+            report.cold_misses,
+            report.warm_hit_rate,
+            xbench::bench::latency_json(&agg_wait),
+            xbench::bench::latency_json(&agg_admit),
+            xbench::bench::latency_json(&agg_exec),
+            per_shard_json.join(", "),
+        );
+        if let Some(x) = speedup {
+            sharded.push_str(&format!(",\n    \"single_shard_speedup\": {x:.6}"));
+        }
+        sharded.push_str("\n  }");
+        let record = xbench::bench::BenchRecord::new("serve_shard")
+            .field("smoke", smoke)
+            .field("shards", shards as u64)
+            .field("workers", rt_cfg.workers as u64)
+            .field("seed", spec.seed)
+            .field("waves", spec.waves as u64)
+            .field("tenants_per_wave", spec.tenants_per_wave as u64)
+            .field("items_per_tenant", spec.items_per_tenant as u64)
+            .field("tenants", plan.tenants() as u64)
+            .field("total_items", report.total_items)
+            .field("fingerprint", format!("{:016x}", report.fingerprint))
+            .field("timed_seconds", report.timed_seconds)
+            .field("items_per_sec", report.throughput)
+            .raw("sharded", sharded);
+        record.write(path).expect("write serve_shard json");
+        println!("  wrote {path}");
+    }
+    println!(
+        "\nshard bench OK: {} tenants over {shards} shard(s), bit-exact, warm rate {:.0}%.",
+        plan.tenants(),
+        report.warm_hit_rate * 100.0,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = xbench::smoke_mode();
@@ -578,6 +789,27 @@ fn main() {
         .iter()
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+
+    // `--shards N` selects the sharded-tier bench and nothing else: it is
+    // its own serving model (N runtimes behind a router) and CI runs it
+    // as a separate matrix job.
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let shards: usize = args
+            .get(i + 1)
+            .expect("--shards needs a count")
+            .parse()
+            .expect("--shards takes an integer");
+        assert!(shards >= 1, "--shards needs at least one shard");
+        let workers = args.iter().position(|a| a == "--workers").map(|i| {
+            args.get(i + 1)
+                .expect("--workers needs a count")
+                .parse()
+                .expect("--workers takes an integer")
+        });
+        shard_bench(shards, workers, smoke, verify_mode, json.as_deref());
+        xbench::finish_trace(trace_path.as_deref());
+        return;
+    }
 
     if check || !selected {
         soak(smoke, verify_mode, audit, json.as_deref());

@@ -12,6 +12,13 @@
 //! | `ablations`   | design-choice sweeps (hops, cut budget, precision)     |
 //! | `serve`       | `vcgra-runtime` mixed-tenant soak + throughput table   |
 //! | `verify`      | `vcgra-verify` invariant sweep over every artifact kind|
+//! | `bench_diff`  | CI regression gate over `BENCH_*.json` records         |
+//!
+//! `serve --shards N [--workers W]` switches to the **sharded serving
+//! tier** (`vcgra-shard`): a seeded load plan over N cache-affine
+//! shards, bit-exactness cross-checked against a single-runtime run of
+//! the same plan, per-shard + aggregate latency quantiles in the JSON
+//! record (`BENCH_serve_shard.json`).
 //!
 //! `figures`, `reconfig`, `compile_time`, `ablations`, `serve` and
 //! `verify` accept `--smoke` (reduced formats/grids/volumes) so CI can

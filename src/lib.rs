@@ -15,6 +15,7 @@ pub use mapping;
 pub use par;
 pub use retina;
 pub use runtime;
+pub use shard;
 pub use softfloat;
 pub use trace;
 pub use vcgra;

@@ -83,3 +83,21 @@ fn every_reexport_carries_the_full_flow() {
     let metrics = retina::Metrics::evaluate(&seg, &truth);
     assert_eq!(metrics.tp + metrics.fp + metrics.fn_ + metrics.tn, 32 * 32);
 }
+
+#[test]
+fn shard_reexport_serves_a_tiny_plan() {
+    // shard (which pulls runtime, trace, and verify along): a two-shard
+    // tier drives a minimal seeded plan end-to-end through the umbrella
+    // re-export, closing with a verified drain.
+    use vcgra_repro::shard::{synthesize, LoadSpec, ShardConfig, ShardServer};
+    let spec = LoadSpec { waves: 1, tenants_per_wave: 2, items_per_tenant: 2, ..LoadSpec::default() };
+    let plan = synthesize(FpFormat::PAPER, &spec);
+    let mut tier = ShardServer::start(ShardConfig::new(2));
+    let report = vcgra_repro::shard::loadgen::run(&mut tier, &plan).expect("tiny plan serves");
+    // 1 timed wave x 2 tenants x 2 items x 2 phases (pre/post swap).
+    assert_eq!(report.total_items, 8);
+    assert!(report.warm_hit_rate > 0.0, "priming wave must warm the caches");
+    for fin in tier.shutdown() {
+        assert!(fin.verify.ok(), "shard {} invariants at shutdown", fin.shard);
+    }
+}
