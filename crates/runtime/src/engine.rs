@@ -80,6 +80,22 @@ impl TenantRun {
     }
 }
 
+/// Modeled port time of `switches` context switches at `cost` each.
+///
+/// Computed in 128-bit nanoseconds: the obvious `cost * switches as u32`
+/// silently truncates once a long-lived time-shared tenant accumulates
+/// more than `u32::MAX` switches, and `Duration::mul` panics on overflow
+/// besides. Saturates at `Duration::MAX` instead of wrapping or
+/// panicking — a modeled cost that large is already "never admit this".
+pub fn switch_port_time(cost: Duration, switches: u64) -> Duration {
+    const NANOS_PER_SEC: u128 = 1_000_000_000;
+    let ns = cost.as_nanos().saturating_mul(u128::from(switches));
+    match u64::try_from(ns / NANOS_PER_SEC) {
+        Ok(secs) => Duration::new(secs, (ns % NANOS_PER_SEC) as u32),
+        Err(_) => Duration::MAX,
+    }
+}
+
 /// Runs every band, bands in parallel on up to `workers` threads, jobs
 /// within a band serialized. `batch_size` is the streaming chunk size
 /// (accounting granularity of the `batches` counter).
@@ -105,6 +121,15 @@ pub fn run_bands(bands: Vec<BandWork<'_>>, workers: usize, batch_size: usize) ->
                     let mut request_span = trace::span("request");
                     request_span.arg("tenant", job.tenant);
                     request_span.arg("op", "execute");
+                    if switches > 0 {
+                        // The swap-in reconfigures this band while other
+                        // bands keep computing — the overlap the runtime's
+                        // timeline models as a lane-local phase.
+                        let mut sw = trace::span("reconfig_overlap");
+                        sw.arg("tenant", job.tenant);
+                        sw.arg("switch_ns", band.switch_cost.as_nanos() as u64);
+                        drop(sw);
+                    }
                     let mut exec_span = trace::span("execute");
                     let mut outputs = Vec::with_capacity(job.inputs.len());
                     let mut batches = 0;
@@ -128,7 +153,7 @@ pub fn run_bands(bands: Vec<BandWork<'_>>, workers: usize, batch_size: usize) ->
                         batches,
                         exec_time,
                         context_switches: switches,
-                        switch_port_time: band.switch_cost * switches as u32,
+                        switch_port_time: switch_port_time(band.switch_cost, switches as u64),
                     });
                 }
                 results.lock().expect("result mutex poisoned").extend(runs);
@@ -203,6 +228,24 @@ mod tests {
                 assert_eq!(got, want_bits, "tenant {t} bit-exact");
             }
         }
+    }
+
+    #[test]
+    fn switch_port_time_survives_huge_switch_counts() {
+        let cost = Duration::from_millis(100);
+        // Sanity at small counts: identical to the obvious product.
+        assert_eq!(switch_port_time(cost, 0), Duration::ZERO);
+        assert_eq!(switch_port_time(cost, 3), cost * 3);
+        // Past u32::MAX switches the old `cost * switches as u32` cast
+        // truncated the count (here to 1); the u128 path keeps every
+        // switch.
+        let switches = u64::from(u32::MAX) + 2;
+        let got = switch_port_time(cost, switches);
+        assert_eq!(got, Duration::from_millis(100 * switches));
+        assert!(got > cost * u32::MAX, "no truncation back into u32 range");
+        // And the astronomically-large product saturates instead of
+        // panicking.
+        assert_eq!(switch_port_time(Duration::MAX, u64::MAX), Duration::MAX);
     }
 
     #[test]

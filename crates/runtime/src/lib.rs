@@ -43,6 +43,14 @@
 //! * [`runtime`] — the orchestrator tying it together, plus the
 //!   [`Ledger`] that accumulates measured host time against modeled
 //!   configuration-port time.
+//! * [`timeline`] — the modeled **time axis**: every charged
+//!   reconfiguration phase scheduled as an interval on its band's lane,
+//!   host→fabric phases serialized on the one configuration port,
+//!   grid-local replays (context switches, compaction) overlapping
+//!   everything else. Yields [`Ledger::modeled_makespan`] — strictly
+//!   less than the flat summed port time whenever reconfiguration
+//!   actually overlaps other bands' execution — and the monotone
+//!   `overlap_saved` counter.
 //!
 //! Fast path vs. recompile, in one table:
 //!
@@ -60,9 +68,12 @@
 //! **Verification.** [`runtime::Runtime::snapshot`] exports the whole
 //! scheduler state as plain data for the `verify` crate's sched pass
 //! (lease/band disjointness, row conservation, queue/ledger
-//! reconciliation, cache-key soundness);
-//! [`runtime::RuntimeConfig::verify_on_admit`] runs that pass after every
-//! mutating operation and fails it on a broken invariant.
+//! reconciliation, cache-key soundness), and
+//! [`runtime::Runtime::timeline_snapshot`] does the same for the
+//! timeline pass (port exclusivity, lane exclusivity, charge
+//! conservation against the ledger);
+//! [`runtime::RuntimeConfig::verify_on_admit`] runs both passes after
+//! every mutating operation and fails it on a broken invariant.
 
 #![forbid(unsafe_code)]
 #![deny(clippy::dbg_macro, clippy::todo)]
@@ -74,9 +85,11 @@ pub mod kernels;
 pub mod pool;
 pub mod pricer;
 pub mod runtime;
+pub mod timeline;
 
 pub use cache::{CacheStats, ConfigCache, ConfigKey};
 pub use engine::TenantRun;
+pub use timeline::{Interval, Phase, Timeline};
 pub use kernels::Workload;
 pub use pool::{BandInfo, GridPool, Lease, PoolError, Relocation, TenantId};
 pub use pricer::{PeChange, SettingsPricer, SwapReport};

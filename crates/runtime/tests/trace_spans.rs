@@ -66,6 +66,12 @@ fn request_spans_decompose_and_ledger_views_the_registry() {
     let runs = rt.run(vec![StreamRequest { tenant: cold.tenant, inputs }]).expect("stream");
     assert_eq!(runs.len(), 1);
 
+    // Free the lower band and compact: the survivor slides down, and the
+    // relocation replay must be traced as a `reconfig_overlap` span.
+    rt.release(cold.tenant).expect("release");
+    let moved = rt.compact_background().expect("compact");
+    assert!(moved >= 1, "freeing the lower band leaves a hole to compact");
+
     trace::configure(trace::TraceConfig::Off);
     let events = trace::take_events();
     let children = child_map(&events);
@@ -84,6 +90,11 @@ fn request_spans_decompose_and_ledger_views_the_registry() {
         children.get("admission").unwrap().contains("compile"),
         "the cold admission compiled, so its span must appear"
     );
+    let compaction = children.get("compaction").expect("compaction spans recorded");
+    assert!(
+        compaction.contains("reconfig_overlap"),
+        "the compaction replay must nest a reconfig_overlap span"
+    );
 
     // Ledger <-> registry agreement: the public Ledger is a view, so
     // every count it reports equals the corresponding runtime.* cell.
@@ -96,6 +107,23 @@ fn request_spans_decompose_and_ledger_views_the_registry() {
     assert_eq!(
         led.host_admit_time.as_nanos() as u64,
         m.counter_value("runtime.host_admit_ns")
+    );
+    assert_eq!(
+        led.modeled_makespan.as_nanos() as u64,
+        m.gauge("runtime.makespan_ns").get() as u64,
+        "the makespan in the ledger is a view over the gauge"
+    );
+    assert_eq!(
+        led.overlap_saved.as_nanos() as u64,
+        m.counter_value("runtime.overlap_saved_ns")
+    );
+    assert!(
+        led.overlap_saved > std::time::Duration::ZERO,
+        "the warm admission streamed while the cold band executed: overlap must be saved"
+    );
+    assert!(
+        led.modeled_makespan < led.total_port_time() + led.exec_time,
+        "the modeled makespan must beat the fully serialized story"
     );
 
     // Latency histograms populated: one sample per admission, one per

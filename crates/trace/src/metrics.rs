@@ -130,14 +130,20 @@ impl Histogram {
 
     pub fn snapshot(&self) -> HistogramSnapshot {
         let h = &*self.0;
+        // Bucket counts are read first: a racing record() can then
+        // only make `count` >= the bucket sum, never smaller, so
+        // quantile ranks stay within the captured distribution.
+        let buckets: Vec<u64> = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = h.count.load(Ordering::Relaxed);
+        let min = h.min.load(Ordering::Relaxed);
         HistogramSnapshot {
-            // Bucket counts are read first: a racing record() can then
-            // only make `count` >= the bucket sum, never smaller, so
-            // quantile ranks stay within the captured distribution.
-            buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
-            count: h.count.load(Ordering::Relaxed),
+            buckets,
+            count,
             sum: h.sum.load(Ordering::Relaxed),
-            min: h.min.load(Ordering::Relaxed),
+            // The running min starts at the u64::MAX sentinel; pin the
+            // empty readout to 0 so consumers (bench JSON, tables) never
+            // see the sentinel as a "minimum latency".
+            min: if count == 0 { 0 } else { min },
             max: h.max.load(Ordering::Relaxed),
         }
     }
@@ -163,8 +169,12 @@ impl HistogramSnapshot {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
-        if rank >= self.count {
+        // `count as f64` rounds once the count has more than 53
+        // significant bits, so `ceil(q * count)` can land past `count`
+        // for q near 1.0 — clamp the rank back into [1, count] instead
+        // of trusting the float round-trip.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
             return self.max; // the top order-statistic is tracked exactly
         }
         let mut seen = 0u64;
@@ -354,6 +364,52 @@ mod tests {
         assert_eq!(s.min, 1);
         assert_eq!(s.count, 7);
         assert_eq!(s.sum, 28);
+    }
+
+    #[test]
+    fn empty_histogram_readout_is_pinned() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0, "the u64::MAX running-min sentinel must not leak");
+        assert_eq!(s.max, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(1.0), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_rank_clamps_at_count_boundaries() {
+        // A count with more than 53 significant bits: `count as f64`
+        // rounds up to 2^54, so the unclamped rank exceeds `count` for
+        // q = 1.0. Nearly all mass in the bucket of value 4, one sample
+        // at the tracked max, so the two return paths are
+        // distinguishable.
+        let count = (1u64 << 54) - 1;
+        let mut buckets = vec![0u64; N_BUCKETS];
+        buckets[bucket_index(4)] = count - 1;
+        buckets[bucket_index(1000)] = 1;
+        let s = HistogramSnapshot { buckets, count, sum: 0, min: 4, max: 1000 };
+        assert_eq!(s.quantile(1.0), 1000, "rank clamps to count, the exact top statistic");
+        assert_eq!(s.p50(), 4, "interior ranks still walk the buckets");
+        // Saturated rank arithmetic: a count whose f64 image exceeds
+        // u64::MAX must not walk past the distribution either.
+        let mut buckets = vec![0u64; N_BUCKETS];
+        buckets[bucket_index(4)] = u64::MAX;
+        let s = HistogramSnapshot { buckets, count: u64::MAX, sum: 0, min: 4, max: 7 };
+        assert_eq!(s.quantile(1.0), 7);
+        // Rank 1 floor: q = 0.0 on a one-sample histogram.
+        let mut buckets = vec![0u64; N_BUCKETS];
+        buckets[bucket_index(5)] = 1;
+        let s = HistogramSnapshot { buckets, count: 1, sum: 5, min: 5, max: 5 };
+        assert_eq!(s.quantile(0.0), 5);
+        assert_eq!(s.quantile(1.0), 5);
+        // A racing record() can leave `count` ahead of the captured
+        // bucket sum; the walk's fallthrough pins those ranks to `max`
+        // instead of reading past the last occupied bucket.
+        let s = HistogramSnapshot { buckets: vec![0; N_BUCKETS], count: 5, sum: 0, min: 1, max: 9 };
+        assert_eq!(s.quantile(0.5), 9);
     }
 
     #[test]

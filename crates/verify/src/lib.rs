@@ -27,6 +27,12 @@
 //!   disjointness, row conservation, queue/ledger reconciliation and
 //!   cache-key soundness (full structural comparison on hash agreement,
 //!   ruling out `ConfigKey` collisions).
+//! * [`timeline`] — the time-axis checker: over a plain
+//!   [`timeline::TimelineSnapshot`] of the runtime's modeled schedule,
+//!   proves configuration-port exclusivity, per-band-lane exclusivity,
+//!   and charge conservation (every ledger-charged duration appears
+//!   exactly once on some lane; the reported makespan is the true
+//!   interval-set maximum).
 //! * [`equiv`] — the gate-level equivalence check between a source AIG and
 //!   its mapped design (absorbed from `mapping::verify`).
 //!
@@ -43,11 +49,13 @@ pub mod equiv;
 pub mod partition;
 pub mod routes;
 pub mod sched;
+pub mod timeline;
 pub mod waves;
 
 pub use partition::{PartitionPlan, PartitionTask};
 pub use routes::NetTerminals;
 pub use sched::SchedSnapshot;
+pub use timeline::TimelineSnapshot;
 pub use waves::{WaveAuditor, WaveFootprint};
 
 use std::fmt;
@@ -386,6 +394,39 @@ pub enum Violation {
         rank: usize,
     },
 
+    // --- timeline checker ---
+    /// Two intervals on the single configuration port overlap.
+    PortOverlap {
+        /// Lane of the earlier-starting port interval.
+        a: (usize, usize),
+        /// Lane of the later-starting port interval.
+        b: (usize, usize),
+        /// Modeled time (ns) at which the second starts inside the first.
+        at_ns: u64,
+    },
+    /// Two intervals on one band lane overlap.
+    LaneOverlap {
+        /// The band lane, as (grid, row0).
+        lane: (usize, usize),
+        /// Modeled time (ns) of the collision.
+        at_ns: u64,
+    },
+    /// Summed charged interval durations disagree with the ledger's
+    /// total port time (a charge was dropped or double-counted).
+    TimelineChargeDrift {
+        /// Sum of charged interval durations (ns).
+        timeline_ns: u64,
+        /// The ledger's `total_port_time` (ns).
+        ledger_ns: u64,
+    },
+    /// The reported makespan is not the last interval's end.
+    MakespanMismatch {
+        /// Makespan the snapshot reports (ns).
+        reported_ns: u64,
+        /// Maximum interval end recomputed from the axis (ns).
+        computed_ns: u64,
+    },
+
     // --- equivalence ---
     /// The mapped design is not equivalent to its source AIG.
     NotEquivalent {
@@ -440,6 +481,10 @@ impl Violation {
             Violation::PartitionTilingBroken { .. } => "partition-tiling-broken",
             Violation::PartitionOwnershipLeak { .. } => "partition-ownership-leak",
             Violation::PartitionRankDisorder { .. } => "partition-rank-disorder",
+            Violation::PortOverlap { .. } => "port-overlap",
+            Violation::LaneOverlap { .. } => "lane-overlap",
+            Violation::TimelineChargeDrift { .. } => "timeline-charge-drift",
+            Violation::MakespanMismatch { .. } => "makespan-mismatch",
             Violation::NotEquivalent { .. } => "not-equivalent",
         }
     }
@@ -582,6 +627,24 @@ impl fmt::Display for Violation {
             }
             Violation::PartitionRankDisorder { iteration, net, rank } => {
                 write!(f, "iteration {iteration}: net {net} breaks commit order at rank {rank}")
+            }
+            Violation::PortOverlap { a, b, at_ns } => {
+                write!(
+                    f,
+                    "configuration port double-booked at {at_ns} ns by lanes {a:?} and {b:?}"
+                )
+            }
+            Violation::LaneOverlap { lane, at_ns } => {
+                write!(f, "band lane {lane:?} double-booked at {at_ns} ns")
+            }
+            Violation::TimelineChargeDrift { timeline_ns, ledger_ns } => {
+                write!(
+                    f,
+                    "charged lane durations sum to {timeline_ns} ns, ledger port time is {ledger_ns} ns"
+                )
+            }
+            Violation::MakespanMismatch { reported_ns, computed_ns } => {
+                write!(f, "reported makespan {reported_ns} ns, intervals end at {computed_ns} ns")
             }
             Violation::NotEquivalent { detail } => {
                 write!(f, "mapping not equivalent: {detail}")
@@ -737,6 +800,20 @@ impl Verifier {
         VerifyReport {
             pass: "sched",
             checked: snap.bands.len() + snap.tenants.len(),
+            violations,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Pass 3b — timeline checker over the runtime's modeled time axis
+    /// (port exclusivity, lane exclusivity, charge conservation).
+    /// `checked` counts scheduled intervals.
+    pub fn verify_timeline(&self, snap: &timeline::TimelineSnapshot) -> VerifyReport {
+        let t0 = std::time::Instant::now();
+        let violations = timeline::check_timeline(snap);
+        VerifyReport {
+            pass: "timeline",
+            checked: snap.intervals.len(),
             violations,
             seconds: t0.elapsed().as_secs_f64(),
         }

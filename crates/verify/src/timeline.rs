@@ -1,0 +1,217 @@
+//! Pass 3b — the **timeline checker**: proves the runtime's modeled time
+//! axis is a well-formed schedule, not just a renamed sum.
+//!
+//! The runtime (PR 10) schedules every reconfiguration phase as an
+//! interval on a per-band lane, with host→fabric phases additionally
+//! serialized on the single configuration port, and derives a modeled
+//! makespan from the axis. This pass re-proves the three claims that
+//! make the makespan honest, over a plain-data [`TimelineSnapshot`]:
+//!
+//! 1. **Port exclusivity** — no two port intervals overlap: the
+//!    HWICAP/MST-AXI interface streams one bitstream at a time
+//!    ([`Violation::PortOverlap`]);
+//! 2. **Lane exclusivity** — no two intervals on one band lane overlap:
+//!    a band cannot compute while its own configuration is rewritten
+//!    ([`Violation::LaneOverlap`]);
+//! 3. **Charge conservation** — every duration the ledger charged
+//!    appears exactly once on some lane: the summed charged interval
+//!    durations equal the ledger's `total_port_time`
+//!    ([`Violation::TimelineChargeDrift`]), and the reported makespan is
+//!    exactly the last interval's end ([`Violation::MakespanMismatch`]).
+//!
+//! Like every pass, the checker trusts nothing about how the snapshot
+//! was produced: it recomputes overlaps and sums from the raw intervals.
+
+use crate::Violation;
+
+/// One scheduled interval, exported as plain data (nanoseconds; the
+/// phase's port/charge behavior is carried as flags so the checker does
+/// not depend on the runtime crate's `Phase` enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSnap {
+    /// The band lane, as `(grid, row0)`.
+    pub lane: (usize, usize),
+    /// Stable phase name (`admission`, `swap`, `switch`, `replay`,
+    /// `execute`).
+    pub phase: &'static str,
+    /// True when the phase streamed through the configuration port.
+    pub uses_port: bool,
+    /// True when the ledger charged the phase as modeled port time.
+    pub charged: bool,
+    /// The tenant served, when attributable.
+    pub tenant: Option<u64>,
+    /// Modeled start, nanoseconds from runtime construction.
+    pub start_ns: u64,
+    /// Modeled duration, nanoseconds (non-zero by construction).
+    pub dur_ns: u64,
+}
+
+impl PhaseSnap {
+    /// Modeled end, nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// Plain-data export of the runtime's time axis plus the two ledger
+/// quantities the axis must reconcile with.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineSnapshot {
+    /// Every scheduled interval, in scheduling order.
+    pub intervals: Vec<PhaseSnap>,
+    /// The makespan the runtime reports, nanoseconds.
+    pub makespan_ns: u64,
+    /// The ledger's `total_port_time`, nanoseconds — what the charged
+    /// intervals must sum to.
+    pub ledger_port_ns: u64,
+}
+
+/// Checks one timeline snapshot. Returns every violation found.
+pub fn check_timeline(snap: &TimelineSnapshot) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Port exclusivity: sort the port intervals by start and require
+    // each to begin no earlier than its predecessor's end.
+    let mut port: Vec<&PhaseSnap> = snap.intervals.iter().filter(|iv| iv.uses_port).collect();
+    port.sort_by_key(|iv| (iv.start_ns, iv.end_ns()));
+    for pair in port.windows(2) {
+        if pair[1].start_ns < pair[0].end_ns() {
+            violations.push(Violation::PortOverlap {
+                a: pair[0].lane,
+                b: pair[1].lane,
+                at_ns: pair[1].start_ns,
+            });
+        }
+    }
+
+    // Lane exclusivity: same sweep per lane, all phases included —
+    // execute occupies the band exactly like a reconfiguration does.
+    let mut by_lane: std::collections::BTreeMap<(usize, usize), Vec<&PhaseSnap>> =
+        std::collections::BTreeMap::new();
+    for iv in &snap.intervals {
+        by_lane.entry(iv.lane).or_default().push(iv);
+    }
+    for (lane, mut ivs) in by_lane {
+        ivs.sort_by_key(|iv| (iv.start_ns, iv.end_ns()));
+        for pair in ivs.windows(2) {
+            if pair[1].start_ns < pair[0].end_ns() {
+                violations.push(Violation::LaneOverlap { lane, at_ns: pair[1].start_ns });
+            }
+        }
+    }
+
+    // Charge conservation: the charged intervals sum exactly to the
+    // ledger's port time — nothing double-counted, nothing dropped.
+    let timeline_ns: u64 = snap.intervals.iter().filter(|iv| iv.charged).map(|iv| iv.dur_ns).sum();
+    if timeline_ns != snap.ledger_port_ns {
+        violations.push(Violation::TimelineChargeDrift {
+            timeline_ns,
+            ledger_ns: snap.ledger_port_ns,
+        });
+    }
+
+    // Makespan honesty: the reported number is the last interval's end.
+    let computed_ns = snap.intervals.iter().map(PhaseSnap::end_ns).max().unwrap_or(0);
+    if computed_ns != snap.makespan_ns {
+        violations.push(Violation::MakespanMismatch {
+            reported_ns: snap.makespan_ns,
+            computed_ns,
+        });
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(
+        lane: (usize, usize),
+        phase: &'static str,
+        uses_port: bool,
+        charged: bool,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> PhaseSnap {
+        PhaseSnap { lane, phase, uses_port, charged, tenant: Some(1), start_ns, dur_ns }
+    }
+
+    fn clean() -> TimelineSnapshot {
+        TimelineSnapshot {
+            intervals: vec![
+                iv((0, 0), "admission", true, true, 0, 100),
+                iv((0, 8), "admission", true, true, 100, 50),
+                iv((0, 0), "execute", false, false, 100, 200),
+                iv((0, 8), "switch", false, true, 150, 30),
+            ],
+            makespan_ns: 300,
+            ledger_port_ns: 180,
+        }
+    }
+
+    #[test]
+    fn clean_snapshot_passes() {
+        assert!(check_timeline(&clean()).is_empty());
+    }
+
+    #[test]
+    fn overlapping_port_intervals_are_rejected() {
+        let mut snap = clean();
+        snap.intervals[1].start_ns = 60; // inside the first admission
+        snap.intervals[1].dur_ns = 90; // end unchanged: lane/makespan clean
+        let violations = check_timeline(&snap);
+        assert!(
+            violations.iter().any(|v| matches!(v, Violation::PortOverlap { at_ns: 60, .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn overlapping_lane_intervals_are_rejected() {
+        let mut snap = clean();
+        // The execute starts while its own lane's admission still runs.
+        snap.intervals[2].start_ns = 50;
+        snap.intervals[2].dur_ns = 250;
+        let violations = check_timeline(&snap);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::LaneOverlap { lane: (0, 0), at_ns: 50 })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn charge_drift_is_rejected() {
+        let mut snap = clean();
+        snap.ledger_port_ns += 7;
+        let violations = check_timeline(&snap);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::TimelineChargeDrift { timeline_ns: 180, ledger_ns: 187 }
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn makespan_drift_is_rejected() {
+        let mut snap = clean();
+        snap.makespan_ns = 299;
+        let violations = check_timeline(&snap);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::MakespanMismatch { reported_ns: 299, computed_ns: 300 }
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn empty_timeline_is_clean() {
+        assert!(check_timeline(&TimelineSnapshot::default()).is_empty());
+    }
+}

@@ -17,6 +17,7 @@ use vcgra::{PeMode, VcgraArch};
 use verify::config::check_mapping;
 use verify::routes::{check_route_trees, NetTerminals};
 use verify::sched::{check_sched, SchedSnapshot};
+use verify::timeline::{check_timeline, TimelineSnapshot};
 use verify::waves::{check_wave, WaveFootprint};
 use verify::Violation;
 
@@ -228,4 +229,76 @@ fn row_leak_is_rejected() {
     let mut snap = clean_snapshot();
     snap.grids[0].free_rows += 1; // claims a row a band still holds
     assert_violation!(check_sched(&snap), Violation::RowConservation { .. });
+}
+
+// --- timeline checker --------------------------------------------------
+
+fn clean_timeline() -> TimelineSnapshot {
+    let mut rt = Runtime::new(RuntimeConfig {
+        grids: vec![VcgraArch::new(8, 4, 2)],
+        ..RuntimeConfig::default()
+    });
+    rt.submit("a", kernels::fir_seeded(F, 3, 1).graph)
+        .expect("submit")
+        .expect_admitted("empty pool");
+    rt.submit("b", kernels::fir_seeded(F, 5, 2).graph)
+        .expect("submit")
+        .expect_admitted("room left");
+    let snap = rt.timeline_snapshot();
+    assert!(check_timeline(&snap).is_empty(), "artifact must start clean");
+    let ports = snap.intervals.iter().filter(|iv| iv.uses_port).count();
+    assert!(ports >= 2, "two admissions put two intervals on the port");
+    snap
+}
+
+#[test]
+fn port_double_booking_is_rejected() {
+    let mut snap = clean_timeline();
+    // Start the second port stream while the first is still on the
+    // wire — the single-bitstream-at-a-time invariant breaks.
+    let ports: Vec<usize> = (0..snap.intervals.len())
+        .filter(|&i| snap.intervals[i].uses_port)
+        .collect();
+    snap.intervals[ports[1]].start_ns = snap.intervals[ports[0]].start_ns;
+    assert_violation!(check_timeline(&snap), Violation::PortOverlap { .. });
+}
+
+#[test]
+fn lane_double_booking_is_rejected() {
+    let mut snap = clean_timeline();
+    // A phantom uncharged phase occupying a lane during an existing
+    // interval: only the lane-exclusivity invariant breaks (the port
+    // and the charge sums are untouched).
+    let mut ghost = snap.intervals[0];
+    ghost.uses_port = false;
+    ghost.charged = false;
+    ghost.phase = "execute";
+    snap.intervals.push(ghost);
+    assert_violation!(check_timeline(&snap), Violation::LaneOverlap { .. });
+}
+
+#[test]
+fn dropped_charge_is_rejected() {
+    let mut snap = clean_timeline();
+    // One charged phase silently stops counting: the summed lane
+    // durations no longer reconcile with the ledger's port time.
+    let i = snap.intervals.iter().position(|iv| iv.charged).expect("charged phase");
+    snap.intervals[i].charged = false;
+    assert_violation!(check_timeline(&snap), Violation::TimelineChargeDrift { .. });
+}
+
+#[test]
+fn double_counted_charge_is_rejected() {
+    let mut snap = clean_timeline();
+    // The admission-time compaction charge also billed by a replay —
+    // the double-count satellite bug this pass exists to catch.
+    snap.ledger_port_ns += snap.intervals[0].dur_ns;
+    assert_violation!(check_timeline(&snap), Violation::TimelineChargeDrift { .. });
+}
+
+#[test]
+fn inflated_makespan_is_rejected() {
+    let mut snap = clean_timeline();
+    snap.makespan_ns += 1;
+    assert_violation!(check_timeline(&snap), Violation::MakespanMismatch { .. });
 }

@@ -43,6 +43,8 @@ fn time_like(key: &str) -> bool {
         || key.contains("speedup")
         || key.contains("per_sec")
         || key.contains("throughput")
+        || key.contains("makespan")
+        || key.contains("overlap_saved")
 }
 
 /// True for leaf paths that depend on the shard count: the count itself

@@ -142,12 +142,18 @@ fn sched_pass(fmt: FpFormat, reports: &mut Vec<verify::VerifyReport>) {
         rt.run(vec![StreamRequest { tenant: t, inputs }]).expect("gated stream");
     }
     rt.resubmit(live[0], kernels::fir_seeded(fmt, 6, 99).graph).expect("gated resubmit");
+    // Defragment in the idle window so the timeline pass below sees
+    // lane-local compaction replays, not just port phases.
+    rt.compact_background().expect("gated compaction");
     for &t in &live {
         rt.release(t).expect("gated release");
     }
     let r = rt.verify();
     println!("  churn scenario          {}", r.summary());
     reports.push(r);
+    let t = rt.verify_timeline();
+    println!("  churn time axis         {}", t.summary());
+    reports.push(t);
 }
 
 fn main() {
